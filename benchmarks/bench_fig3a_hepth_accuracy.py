@@ -1,0 +1,29 @@
+"""Figure 3(a): Precision/Recall/F1 of NO-MP, SMP, MMP and UB on HEPTH (MLN matcher).
+
+Paper shape to reproduce: precision close to 1 for every scheme, recall
+increasing from NO-MP to SMP to MMP, with MMP approaching the UB bound (and
+MMP's precision allowed to dip slightly below SMP's).
+"""
+
+from common import accuracy_rows, print_figure, run_schemes
+
+
+def test_fig3a_hepth_accuracy(benchmark, hepth_data, hepth_cover, hepth_mln_matcher):
+    def build_figure():
+        return run_schemes(hepth_mln_matcher, hepth_data, hepth_cover,
+                           schemes=("no-mp", "smp", "mmp"), include_ub=True)
+
+    results = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    rows = accuracy_rows(hepth_data, results, reference="ub",
+                         order=("no-mp", "smp", "mmp", "ub"))
+    print_figure(
+        f"Figure 3(a) - HEPTH-like ({hepth_data.stats()['author_references']} refs, "
+        f"{len(hepth_cover)} neighborhoods): accuracy of MLN schemes", rows)
+
+    # Qualitative assertions on the reproduced shape.
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert by_scheme["NO-MP"]["R"] <= by_scheme["SMP"]["R"] <= by_scheme["MMP"]["R"]
+    assert by_scheme["MMP"]["R"] <= by_scheme["UB"]["R"] + 1e-9
+    for scheme in ("NO-MP", "SMP", "MMP"):
+        assert by_scheme[scheme]["P"] >= 0.7
+        assert by_scheme[scheme]["soundness"] >= 0.95

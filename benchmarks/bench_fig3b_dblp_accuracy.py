@@ -1,0 +1,28 @@
+"""Figure 3(b): Precision/Recall/F1 of NO-MP, SMP, MMP and UB on DBLP (MLN matcher).
+
+Paper shape to reproduce: the same ordering as Figure 3(a) but with smaller
+gaps — DBLP's full names leave far fewer ambiguous pairs, so NO-MP is already
+close to the message-passing schemes, and all schemes sit close to UB.
+"""
+
+from common import accuracy_rows, print_figure, run_schemes
+
+
+def test_fig3b_dblp_accuracy(benchmark, dblp_data, dblp_cover, dblp_mln_matcher):
+    def build_figure():
+        return run_schemes(dblp_mln_matcher, dblp_data, dblp_cover,
+                           schemes=("no-mp", "smp", "mmp"), include_ub=True)
+
+    results = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    rows = accuracy_rows(dblp_data, results, reference="ub",
+                         order=("no-mp", "smp", "mmp", "ub"))
+    print_figure(
+        f"Figure 3(b) - DBLP-like ({dblp_data.stats()['author_references']} refs, "
+        f"{len(dblp_cover)} neighborhoods): accuracy of MLN schemes", rows)
+
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert by_scheme["NO-MP"]["R"] <= by_scheme["SMP"]["R"] <= by_scheme["MMP"]["R"]
+    assert by_scheme["MMP"]["R"] <= by_scheme["UB"]["R"] + 1e-9
+    for scheme in ("NO-MP", "SMP", "MMP"):
+        assert by_scheme[scheme]["P"] >= 0.8
+        assert by_scheme[scheme]["soundness"] >= 0.95

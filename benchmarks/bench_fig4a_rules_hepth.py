@@ -1,0 +1,37 @@
+"""Figure 4(a): Precision/Recall/F1 of the RULES matcher on HEPTH.
+
+The RULES matcher is fast enough to run on the whole dataset (FULL), so the
+paper measures soundness and completeness of SMP *exactly*: on both datasets
+SMP matches the full run.  The shape to reproduce: NO-MP ≤ SMP = FULL, with
+RULES' overall accuracy a little below the MLN matcher's.
+"""
+
+from common import accuracy_rows, print_figure, run_schemes
+from repro.datamodel import MatchSet
+from repro.evaluation import soundness_completeness
+
+
+def test_fig4a_rules_hepth(benchmark, hepth_data, hepth_cover, rules_matcher):
+    def build_figure():
+        return run_schemes(rules_matcher, hepth_data, hepth_cover,
+                           schemes=("no-mp", "smp"), include_full=True)
+
+    results = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    rows = accuracy_rows(hepth_data, results, order=("no-mp", "smp", "full"))
+    # Soundness/completeness of the (transitively closed) scheme outputs
+    # against the exact full run - the quantity Figure 4 reports.
+    full = results["full"].matches
+    for row in rows:
+        scheme = row["scheme"].lower()
+        if scheme == "full":
+            continue
+        closed = MatchSet(results[scheme].matches).transitive_closure().pairs
+        report = soundness_completeness(closed, full)
+        row["soundness"] = round(report.soundness, 3)
+        row["completeness"] = round(report.completeness, 3)
+    print_figure("Figure 4(a) - HEPTH-like: accuracy of the RULES matcher", rows)
+
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert by_scheme["SMP"]["soundness"] == 1.0
+    assert by_scheme["SMP"]["completeness"] >= 0.95          # SMP ~ FULL
+    assert by_scheme["NO-MP"]["R"] <= by_scheme["SMP"]["R"] + 1e-9

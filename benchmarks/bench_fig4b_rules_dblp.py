@@ -1,0 +1,33 @@
+"""Figure 4(b): Precision/Recall/F1 of the RULES matcher on DBLP.
+
+Same layout as Figure 4(a) on the DBLP-like workload: SMP reproduces the full
+run exactly (soundness = completeness = 1).
+"""
+
+from common import accuracy_rows, print_figure, run_schemes
+from repro.datamodel import MatchSet
+from repro.evaluation import soundness_completeness
+
+
+def test_fig4b_rules_dblp(benchmark, dblp_data, dblp_cover, rules_matcher):
+    def build_figure():
+        return run_schemes(rules_matcher, dblp_data, dblp_cover,
+                           schemes=("no-mp", "smp"), include_full=True)
+
+    results = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    rows = accuracy_rows(dblp_data, results, order=("no-mp", "smp", "full"))
+    full = results["full"].matches
+    for row in rows:
+        scheme = row["scheme"].lower()
+        if scheme == "full":
+            continue
+        closed = MatchSet(results[scheme].matches).transitive_closure().pairs
+        report = soundness_completeness(closed, full)
+        row["soundness"] = round(report.soundness, 3)
+        row["completeness"] = round(report.completeness, 3)
+    print_figure("Figure 4(b) - DBLP-like: accuracy of the RULES matcher", rows)
+
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert by_scheme["SMP"]["soundness"] == 1.0
+    assert by_scheme["SMP"]["completeness"] >= 0.95
+    assert by_scheme["NO-MP"]["R"] <= by_scheme["SMP"]["R"] + 1e-9

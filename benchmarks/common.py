@@ -1,0 +1,83 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core import EMFramework, SchemeResult
+from repro.datamodel import MatchSet
+from repro.datasets import BibliographicDataset
+from repro.evaluation import format_table, precision_recall_f1, soundness_completeness
+from repro.matchers import TypeIIMatcher, TypeIMatcher
+
+
+def print_figure(title: str, rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> None:
+    """Print a regenerated figure/table in a readable row layout."""
+    print()
+    print(format_table(rows, columns=columns, title=title))
+    print()
+
+
+def run_schemes(matcher: TypeIMatcher, dataset: BibliographicDataset, cover,
+                schemes: Sequence[str] = ("no-mp", "smp", "mmp"),
+                include_ub: bool = False,
+                include_full: bool = False) -> Dict[str, SchemeResult]:
+    """Run the requested schemes of the framework and return their results."""
+    framework = EMFramework(matcher, dataset.store, cover=cover)
+    results: Dict[str, SchemeResult] = {}
+    for scheme in schemes:
+        if scheme == "mmp" and not isinstance(matcher, TypeIIMatcher):
+            continue
+        results[scheme] = framework.run(scheme)
+    if include_full:
+        results["full"] = framework.run_full()
+    if include_ub:
+        results["ub"] = framework.run_upper_bound(dataset.true_matches())
+    return results
+
+
+def accuracy_rows(dataset: BibliographicDataset, results: Dict[str, SchemeResult],
+                  reference: Optional[str] = None,
+                  order: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Precision/recall/F1 (on the transitively closed output) per scheme."""
+    truth = dataset.true_matches()
+    reference_matches = results[reference].matches if reference else None
+    rows: List[Dict] = []
+    for name in order or results.keys():
+        if name not in results:
+            continue
+        result = results[name]
+        closed = MatchSet(result.matches).transitive_closure().pairs
+        metrics = precision_recall_f1(closed, truth)
+        row = {
+            "scheme": name.upper(),
+            "P": round(metrics.precision, 3),
+            "R": round(metrics.recall, 3),
+            "F1": round(metrics.f1, 3),
+            "matches": len(result.matches),
+            "time_s": round(result.elapsed_seconds, 2),
+        }
+        if reference_matches is not None and name != reference:
+            report = soundness_completeness(result.matches, reference_matches)
+            row["soundness"] = round(report.soundness, 3)
+            row["completeness"] = round(report.completeness, 3)
+        rows.append(row)
+    return rows
+
+
+def runtime_rows(results: Dict[str, SchemeResult],
+                 order: Sequence[str] = ("no-mp", "smp", "mmp")) -> List[Dict]:
+    """Running-time rows in the layout of Figures 3(d)/(e) and 4(c)."""
+    rows = []
+    for name in order:
+        if name not in results:
+            continue
+        result = results[name]
+        rows.append({
+            "scheme": name.upper(),
+            "seconds": round(result.elapsed_seconds, 3),
+            "matcher_seconds": round(result.matcher_seconds, 3),
+            "neighborhood_runs": result.neighborhood_runs,
+            "matches": len(result.matches),
+        })
+    return rows

@@ -1,0 +1,96 @@
+"""Shared fixtures for the benchmark harness.
+
+One benchmark file regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  The fixtures here build the synthetic
+workloads once per session and share matcher instances so that ground-network
+caches are reused across figures, keeping the whole harness in the
+minutes range on a laptop.
+
+Scales are configurable through environment variables so the harness can be
+pushed toward the paper's original dataset sizes on bigger machines:
+
+* ``REPRO_BENCH_HEPTH_SCALE``  (default 0.5)
+* ``REPRO_BENCH_DBLP_SCALE``   (default 0.5)
+* ``REPRO_BENCH_BIG_SCALE``    (default 1.0, the DBLP-BIG-like workload)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.blocking import CanopyBlocker, build_total_cover
+from repro.datasets import dblp_big_like, dblp_like, hepth_like
+from repro.evaluation import format_table
+from repro.matchers import MLNMatcher, RulesMatcher
+
+
+def _scale(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+HEPTH_SCALE = _scale("REPRO_BENCH_HEPTH_SCALE", 0.5)
+DBLP_SCALE = _scale("REPRO_BENCH_DBLP_SCALE", 0.5)
+BIG_SCALE = _scale("REPRO_BENCH_BIG_SCALE", 1.0)
+
+
+# ------------------------------------------------------------------ datasets
+@pytest.fixture(scope="session")
+def hepth_data():
+    return hepth_like(scale=HEPTH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def dblp_data():
+    return dblp_like(scale=DBLP_SCALE)
+
+
+@pytest.fixture(scope="session")
+def big_data():
+    return dblp_big_like(scale=BIG_SCALE)
+
+
+# -------------------------------------------------------------------- covers
+def _cover(dataset):
+    return build_total_cover(CanopyBlocker(), dataset.store, relation_names=["coauthor"])
+
+
+@pytest.fixture(scope="session")
+def hepth_cover(hepth_data):
+    return _cover(hepth_data)
+
+
+@pytest.fixture(scope="session")
+def dblp_cover(dblp_data):
+    return _cover(dblp_data)
+
+
+@pytest.fixture(scope="session")
+def big_cover(big_data):
+    return _cover(big_data)
+
+
+# ------------------------------------------------------------------ matchers
+@pytest.fixture(scope="session")
+def hepth_mln_matcher():
+    """MLN matcher shared across HEPTH figures (ground networks are cached)."""
+    return MLNMatcher()
+
+
+@pytest.fixture(scope="session")
+def dblp_mln_matcher():
+    return MLNMatcher()
+
+
+@pytest.fixture(scope="session")
+def rules_matcher():
+    return RulesMatcher()
+
+
+# ------------------------------------------------------------------- helpers
+def print_figure(title: str, rows, columns=None) -> None:
+    """Print a figure/table in the same row layout the paper reports."""
+    print()
+    print(format_table(rows, columns=columns, title=title))
+    print()

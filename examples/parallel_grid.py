@@ -1,0 +1,58 @@
+"""Parallelising the framework on a (simulated) grid of machines.
+
+Section 6.3 of the paper parallelises message passing in MapReduce rounds:
+every active neighborhood runs in parallel, new evidence is collected, and the
+next round's active set is derived from it.  This example runs the round-based
+grid executor on a DBLP-BIG-like workload, then uses the recorded
+per-neighborhood compute times to answer deployment questions without
+re-running anything:
+
+* how long would the job take on 1, 5, 10, 30 machines?
+* how much of the ideal speedup is lost to random-assignment skew, and how
+  much does a smarter (LPT) assignment recover?
+
+Run with::
+
+    python examples/parallel_grid.py
+"""
+
+from __future__ import annotations
+
+from repro import CanopyBlocker, GridExecutor, MLNMatcher, build_total_cover, dblp_big_like
+from repro.evaluation import format_table
+
+
+def main() -> None:
+    dataset = dblp_big_like(scale=0.6)
+    store = dataset.store
+    print(f"dataset: {dataset.name} {dataset.stats()}")
+    cover = build_total_cover(CanopyBlocker(), store, relation_names=["coauthor"])
+    print(f"cover: {cover.stats()}")
+
+    executor = GridExecutor(scheme="smp")
+    grid_run = executor.run(MLNMatcher(), store, cover)
+    print(f"\ngrid run: {grid_run.round_count} rounds, "
+          f"{grid_run.neighborhood_runs} neighborhood runs, "
+          f"{len(grid_run.matches)} matches, "
+          f"{grid_run.total_compute_seconds():.1f}s total compute")
+
+    rows = []
+    for workers in (1, 5, 10, 30):
+        random_clock = grid_run.simulated_wall_clock(workers, per_round_overhead=0.05)
+        lpt_clock = grid_run.simulated_wall_clock(workers, per_round_overhead=0.05,
+                                                  strategy="lpt")
+        rows.append({
+            "machines": workers,
+            "random_assignment_s": round(random_clock, 2),
+            "lpt_assignment_s": round(lpt_clock, 2),
+            "speedup_vs_1": round(grid_run.speedup(workers, per_round_overhead=0.05), 1),
+        })
+    print()
+    print(format_table(rows, title="Simulated wall-clock by grid size (SMP scheme)"))
+    print("\nAs in the paper's Table 1, the speedup stays well below the machine"
+          "\ncount: per-round overhead and the skew of random neighborhood"
+          "\nassignment dominate once rounds become short.")
+
+
+if __name__ == "__main__":
+    main()

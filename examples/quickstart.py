@@ -1,0 +1,74 @@
+"""Quickstart: scale a collective matcher with message passing.
+
+This example walks through the full pipeline on a small synthetic bibliography:
+
+1. generate a labelled multi-source bibliography (HEPTH-like preset),
+2. build a total cover (canopies over author names + coauthor boundary),
+3. run the MLN collective matcher under the NO-MP, SMP and MMP schemes,
+4. compare accuracy and show the resulting entity clusters.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CanopyBlocker,
+    EMFramework,
+    MLNMatcher,
+    MatchSet,
+    build_total_cover,
+    hepth_like,
+    precision_recall_f1,
+)
+from repro.evaluation import format_table
+
+
+def main() -> None:
+    # 1. A small labelled dataset: author records from three bibliography
+    #    sources, with abbreviated names and ground truth.
+    dataset = hepth_like(scale=0.25)
+    print(f"dataset: {dataset.name} {dataset.stats()}")
+
+    # 2. Cover the records with canopies over the name similarity, expanded by
+    #    the coauthor relation so no relational evidence is lost (Section 4).
+    cover = build_total_cover(CanopyBlocker(), dataset.store, relation_names=["coauthor"])
+    print(f"cover: {cover.stats()}")
+
+    # 3. Run the black-box MLN matcher under each message-passing scheme.
+    framework = EMFramework(MLNMatcher(), dataset.store, cover=cover)
+    results = framework.run_all()  # no-mp, smp, mmp
+
+    # 4. Evaluate against the ground truth.
+    truth = dataset.true_matches()
+    rows = []
+    for scheme, result in results.items():
+        closed = MatchSet(result.matches).transitive_closure().pairs
+        metrics = precision_recall_f1(closed, truth)
+        rows.append({
+            "scheme": scheme,
+            "matches": len(result.matches),
+            "precision": round(metrics.precision, 3),
+            "recall": round(metrics.recall, 3),
+            "f1": round(metrics.f1, 3),
+            "seconds": round(result.elapsed_seconds, 2),
+        })
+    print()
+    print(format_table(rows, title="Accuracy per message-passing scheme"))
+
+    # Show a few of the resolved author clusters from the best scheme.
+    best = results.get("mmp", results["smp"])
+    clusters = [c for c in MatchSet(best.matches).clusters() if len(c) > 1]
+    print(f"\nresolved {len(clusters)} duplicate-author clusters; examples:")
+    for cluster in clusters[:5]:
+        names = []
+        for entity_id in sorted(cluster):
+            entity = dataset.store.entity(entity_id)
+            names.append(f"{entity.get('fname')} {entity.get('lname')} [{entity.get('source')}]")
+        print("  - " + "  |  ".join(names))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Calibration harness used during development.
+
+Runs the full pipeline (dataset -> cover -> matcher -> all schemes) at a
+chosen scale and prints the accuracy / timing shape, so that preset and
+threshold changes can be evaluated quickly.  Not part of the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import (
+    CanopyBlocker,
+    EMFramework,
+    MLNMatcher,
+    MatchSet,
+    RulesMatcher,
+    build_total_cover,
+    precision_recall_f1,
+    soundness_completeness,
+)
+from repro.datasets import dblp_like, hepth_like
+
+
+def run(dataset_name: str, scale: float, matcher_name: str, include_full: bool) -> None:
+    dataset = hepth_like(scale=scale) if dataset_name == "hepth" else dblp_like(scale=scale)
+    store = dataset.store
+    print(f"=== {dataset_name} scale={scale}: {dataset.stats()}")
+    started = time.time()
+    cover = build_total_cover(CanopyBlocker(), store, relation_names=["coauthor"])
+    print(f"cover: {cover.stats()} built in {time.time() - started:.2f}s")
+
+    matcher = MLNMatcher() if matcher_name == "mln" else RulesMatcher()
+    framework = EMFramework(matcher, store, cover=cover)
+    results = {}
+    schemes = ["no-mp", "smp"] + (["mmp"] if matcher_name == "mln" else [])
+    for scheme in schemes:
+        started = time.time()
+        results[scheme] = framework.run(scheme)
+        print(f"{scheme:6s} matches={len(results[scheme].matches):5d} "
+              f"time={time.time() - started:7.2f}s runs={results[scheme].neighborhood_runs}")
+    if include_full:
+        started = time.time()
+        results["full"] = framework.run_full()
+        print(f"full   matches={len(results['full'].matches):5d} time={time.time() - started:7.2f}s")
+    if matcher_name == "mln":
+        started = time.time()
+        results["ub"] = framework.run_upper_bound(dataset.true_matches())
+        print(f"ub     matches={len(results['ub'].matches):5d} time={time.time() - started:7.2f}s")
+
+    truth = dataset.true_matches()
+    reference = results.get("full", results.get("ub"))
+    for name, result in results.items():
+        closed = MatchSet(result.matches).transitive_closure().pairs
+        accuracy = precision_recall_f1(closed, truth)
+        line = (f"{name:6s} P={accuracy.precision:.3f} R={accuracy.recall:.3f} "
+                f"F1={accuracy.f1:.3f}")
+        if reference is not None and result is not reference:
+            report = soundness_completeness(result.matches, reference.matches)
+            line += f"  sound={report.soundness:.3f} compl={report.completeness:.3f}"
+        print(line)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=["hepth", "dblp"], default="hepth")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--matcher", choices=["mln", "rules"], default="mln")
+    parser.add_argument("--full", action="store_true", help="also run the matcher holistically")
+    args = parser.parse_args()
+    run(args.dataset, args.scale, args.matcher, args.full)

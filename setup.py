@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+``pip install -e .`` (and the legacy ``python setup.py develop``) also work on
+environments whose setuptools predates full PEP 660 editable-install support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Blocker interface.
+
+A *blocker* turns an :class:`~repro.datamodel.store.EntityStore` into a
+:class:`~repro.blocking.cover.Cover`.  Concrete blockers include Canopy
+clustering (the one used in the paper), standard key-based blocking, sorted
+neighborhood and token blocking.  Blockers only group entities; turning the
+cover into a *total* cover is the job of
+:func:`repro.blocking.boundary.expand_to_total_cover`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, List, Optional
+
+from ..datamodel import Entity, EntityStore
+from .cover import Cover, Neighborhood
+
+
+class Blocker(abc.ABC):
+    """Abstract base class of all cover builders."""
+
+    @abc.abstractmethod
+    def build_cover(self, store: EntityStore) -> Cover:
+        """Build a cover of the entities in ``store``."""
+
+    @staticmethod
+    def _make_neighborhoods(groups: Iterable[Iterable[str]], prefix: str) -> Cover:
+        """Helper turning groups of entity ids into a named cover.
+
+        Singleton groups are kept: every entity must appear in some
+        neighborhood for the result to be a cover (the framework later skips
+        neighborhoods that cannot produce pairs).
+        """
+        neighborhoods: List[Neighborhood] = []
+        for index, group in enumerate(groups):
+            ids = frozenset(group)
+            if not ids:
+                continue
+            neighborhoods.append(Neighborhood(f"{prefix}{index}", ids))
+        return Cover(neighborhoods)
+
+
+#: A blocking key function maps an entity to one key (or several, see
+#: :class:`repro.blocking.token_blocking.TokenBlocker`).
+KeyFunction = Callable[[Entity], str]

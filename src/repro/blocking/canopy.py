@@ -1,0 +1,149 @@
+"""Canopy clustering (McCallum, Nigam & Ungar, KDD 2000).
+
+The paper builds its covers "by first constructing a total cover over the
+Similar relation using the Canopies algorithm, and then taking the boundary of
+each neighborhood with respect to other relations" (Section 4).  Canopies use
+a *cheap* similarity with two thresholds:
+
+* ``loose`` — entities within this similarity of the canopy center join the
+  canopy (canopies may overlap),
+* ``tight`` — entities within this similarity of the center are removed from
+  the pool of potential future centers.
+
+The result is a set of overlapping neighborhoods such that every pair of
+sufficiently-similar entities shares at least one canopy — i.e. a total cover
+over the ``Similar`` relation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..datamodel import Entity, EntityStore
+from ..similarity.name_similarity import DEFAULT_AUTHOR_SIMILARITY
+from ..similarity.tfidf import TfIdfVectorizer, cosine_similarity, default_tokenizer
+from .base import Blocker
+from .cover import Cover, Neighborhood
+
+#: Cheap similarity signature: maps two entities to a score in [0, 1].
+CheapSimilarity = Callable[[Entity, Entity], float]
+
+
+def author_name_cheap_similarity(a: Entity, b: Entity) -> float:
+    """Default cheap similarity for author references: structured name score."""
+    return DEFAULT_AUTHOR_SIMILARITY.score_entities(a, b)
+
+
+class CanopyBlocker(Blocker):
+    """Canopy clustering over a cheap similarity measure.
+
+    Parameters
+    ----------
+    loose_threshold:
+        Entities at least this similar to a canopy center join the canopy.
+    tight_threshold:
+        Entities at least this similar to the center stop being candidate
+        centers themselves.  Must be ≥ ``loose_threshold``.
+    similarity:
+        Cheap entity-pair similarity; defaults to the structured author-name
+        score.
+    entity_type:
+        When set, only entities of this type are clustered into canopies
+        (papers, for instance, are attached later via boundary expansion).
+    text_key:
+        Attribute(s) used by the inverted-index pre-filter.  Candidate
+        neighbours for a center are restricted to entities sharing at least
+        one token/character trigram with the center, which keeps canopy
+        construction far below quadratic on realistic name data.
+    seed:
+        Seed for the random choice of canopy centers (canopies are randomised
+        but the downstream framework is order-invariant).
+    """
+
+    def __init__(self, loose_threshold: float = 0.78, tight_threshold: float = 0.92,
+                 similarity: CheapSimilarity = author_name_cheap_similarity,
+                 entity_type: Optional[str] = "author",
+                 text_attributes: Sequence[str] = ("fname", "lname"),
+                 seed: int = 0):
+        if not 0.0 <= loose_threshold <= tight_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 <= loose <= tight <= 1")
+        self.loose_threshold = loose_threshold
+        self.tight_threshold = tight_threshold
+        self.similarity = similarity
+        self.entity_type = entity_type
+        self.text_attributes = tuple(text_attributes)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ text
+    def _entity_text(self, entity: Entity) -> str:
+        parts = [str(entity.get(attr, "")) for attr in self.text_attributes]
+        return " ".join(part for part in parts if part)
+
+    def _build_inverted_index(self, entities: Sequence[Entity]) -> Dict[str, Set[str]]:
+        """Token → entity-id inverted index used to pre-filter candidates."""
+        index: Dict[str, Set[str]] = {}
+        for entity in entities:
+            for token in default_tokenizer(self._entity_text(entity)):
+                index.setdefault(token, set()).add(entity.entity_id)
+        return index
+
+    def _candidates(self, entity: Entity, index: Dict[str, Set[str]]) -> Set[str]:
+        candidates: Set[str] = set()
+        for token in default_tokenizer(self._entity_text(entity)):
+            candidates.update(index.get(token, ()))
+        candidates.discard(entity.entity_id)
+        return candidates
+
+    # ----------------------------------------------------------------- cover
+    def build_cover(self, store: EntityStore) -> Cover:
+        """Run the canopy algorithm and return the resulting cover.
+
+        Entities of other types (when ``entity_type`` is set) are *not*
+        included here; boundary expansion pulls them in afterwards.  Entities
+        that end up in no canopy (no similar neighbour at all) each get a
+        singleton neighborhood so the result is still a cover of the clustered
+        entity type.
+        """
+        if self.entity_type is not None:
+            entities = store.entities_of_type(self.entity_type)
+        else:
+            entities = store.entities()
+        entities = sorted(entities, key=lambda e: e.entity_id)
+        by_id = {entity.entity_id: entity for entity in entities}
+        index = self._build_inverted_index(entities)
+
+        rng = random.Random(self.seed)
+        remaining: List[str] = [entity.entity_id for entity in entities]
+        rng.shuffle(remaining)
+        remaining_set: Set[str] = set(remaining)
+        assigned: Set[str] = set()
+
+        canopies: List[Set[str]] = []
+        position = 0
+        while position < len(remaining):
+            center_id = remaining[position]
+            position += 1
+            if center_id not in remaining_set:
+                continue
+            center = by_id[center_id]
+            canopy: Set[str] = {center_id}
+            removed: Set[str] = {center_id}
+            for candidate_id in self._candidates(center, index):
+                if candidate_id not in by_id:
+                    continue
+                score = self.similarity(center, by_id[candidate_id])
+                if score >= self.loose_threshold:
+                    canopy.add(candidate_id)
+                    if score >= self.tight_threshold:
+                        removed.add(candidate_id)
+            remaining_set -= removed
+            assigned.update(canopy)
+            canopies.append(canopy)
+
+        # Safety net: any entity never assigned to a canopy becomes a singleton.
+        for entity in entities:
+            if entity.entity_id not in assigned:
+                canopies.append({entity.entity_id})
+
+        return self._make_neighborhoods(canopies, prefix="canopy-")

@@ -1,0 +1,63 @@
+"""Token blocking: one block per (rare enough) token.
+
+Every entity is placed in one block per token appearing in its text
+attributes.  Tokens that occur in too many entities are dropped (they produce
+uselessly large blocks).  Token blocking gives high recall covers at the cost
+of many overlapping neighborhoods — a useful stress test for the
+message-passing framework since entities appear in many neighborhoods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..datamodel import Entity, EntityStore
+from ..similarity.ngram import word_tokens
+from .base import Blocker
+from .cover import Cover
+
+
+class TokenBlocker(Blocker):
+    """Block on word tokens of selected attributes."""
+
+    def __init__(self, attributes: Sequence[str] = ("lname",),
+                 entity_type: Optional[str] = "author",
+                 max_block_size: int = 200, min_token_length: int = 2):
+        if max_block_size < 2:
+            raise ValueError("max_block_size must be >= 2")
+        self.attributes = tuple(attributes)
+        self.entity_type = entity_type
+        self.max_block_size = max_block_size
+        self.min_token_length = min_token_length
+
+    def _tokens(self, entity: Entity) -> Set[str]:
+        tokens: Set[str] = set()
+        for attribute in self.attributes:
+            tokens.update(word_tokens(str(entity.get(attribute, ""))))
+        return {t for t in tokens if len(t) >= self.min_token_length}
+
+    def build_cover(self, store: EntityStore) -> Cover:
+        if self.entity_type is not None:
+            entities = store.entities_of_type(self.entity_type)
+        else:
+            entities = store.entities()
+        blocks: Dict[str, List[str]] = {}
+        untokenised: List[str] = []
+        for entity in sorted(entities, key=lambda e: e.entity_id):
+            tokens = self._tokens(entity)
+            if not tokens:
+                untokenised.append(entity.entity_id)
+                continue
+            for token in tokens:
+                blocks.setdefault(token, []).append(entity.entity_id)
+        groups: List[List[str]] = [
+            members for token, members in sorted(blocks.items())
+            if len(members) <= self.max_block_size
+        ]
+        # Entities whose every token was dropped (or that had no tokens) still
+        # need to be covered; give each a singleton neighborhood.
+        covered = {entity_id for group in groups for entity_id in group}
+        for entity in sorted(entities, key=lambda e: e.entity_id):
+            if entity.entity_id not in covered:
+                groups.append([entity.entity_id])
+        return self._make_neighborhoods(groups, prefix="token-")

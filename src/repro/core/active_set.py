@@ -1,0 +1,69 @@
+"""Active-neighborhood scheduling.
+
+Both SMP (Algorithm 1) and MMP (Algorithm 3) maintain a set ``A`` of *active*
+neighborhoods — the ones that might still produce new matches — and repeatedly
+pop a neighborhood from it.  :class:`ActiveNeighborhoodQueue` implements that
+set with FIFO popping (deterministic, and gives every neighborhood a first
+pass before revisits start) while preserving set semantics (a neighborhood is
+never queued twice concurrently).
+
+Because the schemes are *consistent* (Theorems 2 and 4), the final match set
+does not depend on the pop order; the order only affects how quickly the
+fixpoint is reached, which the consistency tests verify by shuffling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, Optional, Set
+
+
+class ActiveNeighborhoodQueue:
+    """A FIFO queue of neighborhood names with set semantics."""
+
+    def __init__(self, names: Iterable[str] = ()):
+        self._queue: Deque[str] = deque()
+        self._members: Set[str] = set()
+        #: Total number of activations ever enqueued (diagnostics).
+        self.total_activations = 0
+        self.add_all(names)
+
+    def add(self, name: str) -> bool:
+        """Activate ``name``; returns ``True`` when it was not already active."""
+        if name in self._members:
+            return False
+        self._members.add(name)
+        self._queue.append(name)
+        self.total_activations += 1
+        return True
+
+    def add_all(self, names: Iterable[str]) -> int:
+        """Activate several neighborhoods; returns how many were newly added."""
+        added = 0
+        for name in names:
+            if self.add(name):
+                added += 1
+        return added
+
+    def pop(self) -> str:
+        """Remove and return the next active neighborhood (FIFO)."""
+        name = self._queue.popleft()
+        self._members.discard(name)
+        return name
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(list(self._queue))
+
+    def drain(self) -> Iterator[str]:
+        """Iterate by popping until empty (used by the round-based executor)."""
+        while self._queue:
+            yield self.pop()

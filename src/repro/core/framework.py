@@ -1,0 +1,141 @@
+"""The scalable collective entity-matching framework (top-level facade).
+
+:class:`EMFramework` wires together the three components of the paper's
+approach — a black-box matcher, a cover of the entities, and a message-passing
+scheme — behind one object:
+
+>>> framework = EMFramework(matcher=MLNMatcher(), store=store, cover=cover)
+>>> result = framework.run("mmp")
+>>> result.matches
+
+The cover can either be supplied directly or built from a blocker (Canopy by
+default) with boundary expansion to make it total.  The framework exposes the
+schemes of the paper (NO-MP, SMP, MMP), the holistic FULL run, and the UB
+evaluation bound, and reuses one :class:`NeighborhoodRunner` so that
+neighborhood stores (and any matcher-side caches keyed on them) are shared
+between schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Union
+
+from ..blocking import Blocker, CanopyBlocker, Cover, build_total_cover
+from ..datamodel import EntityPair, EntityStore, Evidence, MatchSet
+from ..exceptions import ExperimentError, MatcherError
+from ..matchers import TypeIIMatcher, TypeIMatcher
+from .full import FullRun
+from .mmp import MaximalMessagePassing
+from .nomp import NoMessagePassing
+from .result import SchemeResult
+from .runner import NeighborhoodRunner
+from .smp import SimpleMessagePassing
+from .upper_bound import UpperBoundScheme
+
+#: Names accepted by :meth:`EMFramework.run`.
+SCHEMES = ("no-mp", "smp", "mmp", "full")
+
+
+class EMFramework:
+    """Facade over covers, matchers and message-passing schemes."""
+
+    def __init__(self, matcher: TypeIMatcher, store: EntityStore,
+                 cover: Optional[Cover] = None,
+                 blocker: Optional[Blocker] = None,
+                 relation_names: Optional[Iterable[str]] = None):
+        self.matcher = matcher
+        self.store = store
+        if cover is not None:
+            self.cover = cover
+        else:
+            chosen_blocker = blocker if blocker is not None else CanopyBlocker()
+            if relation_names is None:
+                # Default to totality w.r.t. the relations the bibliographic
+                # matchers actually use (the coauthor relation); callers with
+                # other relational evidence pass relation_names explicitly.
+                relation_names = ["coauthor"] if store.has_relation("coauthor") \
+                    else store.relation_names()
+            self.cover = build_total_cover(chosen_blocker, store,
+                                           relation_names=relation_names)
+        self.cover.validate_covering(store)
+        self._runner: Optional[NeighborhoodRunner] = None
+
+    # ---------------------------------------------------------------- runner
+    @property
+    def runner(self) -> NeighborhoodRunner:
+        """The shared neighborhood runner (created lazily, counters reset per run)."""
+        if self._runner is None:
+            self._runner = NeighborhoodRunner(self.matcher, self.store, self.cover)
+        return self._runner
+
+    def _fresh_runner(self) -> NeighborhoodRunner:
+        runner = self.runner
+        runner.reset_counters()
+        return runner
+
+    # ----------------------------------------------------------------- runs
+    def run_no_mp(self) -> SchemeResult:
+        """Run the matcher per neighborhood with no message passing."""
+        return NoMessagePassing().run(self.matcher, self.store, self.cover,
+                                      runner=self._fresh_runner())
+
+    def run_smp(self, max_activations_per_neighborhood: Optional[int] = None) -> SchemeResult:
+        """Run the Simple Message Passing scheme (Algorithm 1)."""
+        scheme = SimpleMessagePassing(max_activations_per_neighborhood)
+        return scheme.run(self.matcher, self.store, self.cover,
+                          runner=self._fresh_runner())
+
+    def run_mmp(self, max_activations_per_neighborhood: Optional[int] = None,
+                compute_messages_once: bool = True) -> SchemeResult:
+        """Run the Maximal Message Passing scheme (Algorithm 3; Type-II only)."""
+        scheme = MaximalMessagePassing(max_activations_per_neighborhood,
+                                       compute_messages_once=compute_messages_once)
+        return scheme.run(self.matcher, self.store, self.cover,
+                          runner=self._fresh_runner())
+
+    def run_full(self) -> SchemeResult:
+        """Run the matcher holistically on the whole store."""
+        return FullRun().run(self.matcher, self.store)
+
+    def run_full_prefix(self, neighborhood_count: int) -> SchemeResult:
+        """Run the matcher holistically on the first ``k`` neighborhoods (Figure 3(f))."""
+        return FullRun().run_on_prefix(self.matcher, self.store, self.cover,
+                                       neighborhood_count)
+
+    def run_upper_bound(self, ground_truth: Iterable[EntityPair]) -> SchemeResult:
+        """Compute the UB bound; requires a Type-II matcher."""
+        if not isinstance(self.matcher, TypeIIMatcher):
+            return UpperBoundScheme().run_type1(self.matcher, self.store, self.cover,
+                                                ground_truth)
+        return UpperBoundScheme().run(self.matcher, self.store, ground_truth)
+
+    def run(self, scheme: str, **kwargs) -> SchemeResult:
+        """Run a scheme selected by name (``"no-mp"``, ``"smp"``, ``"mmp"``, ``"full"``)."""
+        normalized = scheme.lower().replace("_", "-")
+        if normalized in ("no-mp", "nomp"):
+            return self.run_no_mp()
+        if normalized == "smp":
+            return self.run_smp(**kwargs)
+        if normalized == "mmp":
+            return self.run_mmp(**kwargs)
+        if normalized == "full":
+            return self.run_full()
+        raise ExperimentError(f"unknown scheme {scheme!r}; known schemes: {SCHEMES}")
+
+    def run_all(self, include_full: bool = False) -> Dict[str, SchemeResult]:
+        """Run NO-MP, SMP and (for Type-II matchers) MMP; optionally FULL too."""
+        results = {"no-mp": self.run_no_mp(), "smp": self.run_smp()}
+        if isinstance(self.matcher, TypeIIMatcher):
+            results["mmp"] = self.run_mmp()
+        if include_full:
+            results["full"] = self.run_full()
+        return results
+
+    # ------------------------------------------------------------- utilities
+    def cover_stats(self) -> Dict[str, float]:
+        """Size statistics of the cover (matches the numbers the paper reports)."""
+        return self.cover.stats()
+
+    def clusters(self, result: SchemeResult) -> list:
+        """Entity clusters implied by a scheme result (what downstream users want)."""
+        return MatchSet(result.matches).clusters()

@@ -1,0 +1,59 @@
+"""FULL: running the black-box matcher on the entire dataset at once.
+
+This is what the framework is designed to avoid for expensive collective
+matchers, but it is needed twice in the evaluation:
+
+* Figure 3(f) runs the MLN matcher on growing prefixes of the cover to expose
+  its super-linear cost, and
+* Figure 4 runs the (fast) RULES matcher on the whole dataset as the exact
+  reference against which SMP's soundness/completeness is measured.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet, Iterable, Optional
+
+from ..blocking import Cover
+from ..datamodel import EntityPair, EntityStore, Evidence
+from ..matchers import TypeIMatcher
+from .result import SchemeResult
+
+
+class FullRun:
+    """Run the matcher holistically on a store (optionally a cover prefix)."""
+
+    scheme_name = "full"
+
+    def run(self, matcher: TypeIMatcher, store: EntityStore,
+            evidence: Optional[Evidence] = None) -> SchemeResult:
+        """Run the matcher once on the whole ``store``."""
+        started = time.perf_counter()
+        matches = matcher.match(store, evidence if evidence is not None else Evidence.empty())
+        elapsed = time.perf_counter() - started
+        return SchemeResult(
+            scheme=self.scheme_name,
+            matcher=matcher.name,
+            matches=frozenset(matches),
+            neighborhood_runs=1,
+            neighborhoods=0,
+            rounds=1,
+            messages_passed=0,
+            elapsed_seconds=elapsed,
+            matcher_seconds=elapsed,
+        )
+
+    def run_on_prefix(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover,
+                      neighborhood_count: int) -> SchemeResult:
+        """Run the matcher holistically on the union of the first ``k`` neighborhoods.
+
+        This is the "Full EM" curve of Figure 3(f): the sub-instance grows
+        with ``k`` and the matcher sees it as a single monolithic problem.
+        """
+        prefix = cover.subset(neighborhood_count)
+        entity_ids = prefix.covered_entities()
+        restricted = store.restrict(entity_ids)
+        result = self.run(matcher, restricted)
+        result.neighborhoods = neighborhood_count
+        result.extra["entities"] = float(len(entity_ids))
+        return result

@@ -1,0 +1,106 @@
+"""Message types exchanged between neighborhoods.
+
+* A *simple message* is just a set of matches found by some neighborhood; SMP
+  passes these implicitly by accumulating them into the global evidence set.
+* A *maximal message* (Definition 8) is a set of pairs that the matcher will
+  either match entirely or not at all — a "partial inference waiting to be
+  completed".  Proposition 3 lets overlapping maximal messages be merged into
+  one; :class:`MaximalMessageSet` maintains a collection of pairwise-disjoint
+  maximal messages under that merge rule (the ``(T ∪ TC)*`` operation of
+  Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set
+
+from ..datamodel import EntityPair
+
+
+MaximalMessage = FrozenSet[EntityPair]
+
+
+def make_message(pairs: Iterable[EntityPair]) -> MaximalMessage:
+    """Build a maximal message from an iterable of pairs."""
+    return frozenset(pairs)
+
+
+class MaximalMessageSet:
+    """A set ``T`` of pairwise-disjoint maximal messages closed under merging.
+
+    Adding a message that overlaps existing messages replaces them all with
+    their union (Proposition 3(ii): overlapping maximal messages union to a
+    maximal message).  Pairs that become confirmed matches can be removed with
+    :meth:`discard_pairs` — once matched they no longer need to travel in a
+    message.
+    """
+
+    def __init__(self, messages: Iterable[MaximalMessage] = ()):
+        self._messages: List[Set[EntityPair]] = []
+        self._owner: Dict[EntityPair, int] = {}
+        for message in messages:
+            self.add(message)
+
+    # ---------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return sum(1 for m in self._messages if m)
+
+    def __iter__(self) -> Iterator[MaximalMessage]:
+        return iter(self.messages())
+
+    def messages(self) -> List[MaximalMessage]:
+        """The current disjoint maximal messages (non-empty ones only)."""
+        return [frozenset(m) for m in self._messages if m]
+
+    def pair_count(self) -> int:
+        return len(self._owner)
+
+    def __contains__(self, pair: EntityPair) -> bool:
+        return pair in self._owner
+
+    def message_of(self, pair: EntityPair) -> MaximalMessage:
+        """The message currently containing ``pair`` (KeyError when absent)."""
+        return frozenset(self._messages[self._owner[pair]])
+
+    # --------------------------------------------------------------- updates
+    def add(self, message: Iterable[EntityPair]) -> MaximalMessage:
+        """Add a maximal message, merging it with any overlapping ones.
+
+        Returns the (possibly merged) message now containing the added pairs.
+        """
+        new_pairs = set(message)
+        if not new_pairs:
+            return frozenset()
+        overlapping_indexes = {self._owner[p] for p in new_pairs if p in self._owner}
+        if not overlapping_indexes:
+            index = len(self._messages)
+            self._messages.append(set(new_pairs))
+            for pair in new_pairs:
+                self._owner[pair] = index
+            return frozenset(new_pairs)
+
+        # Merge the new message and all overlapping messages into one bucket.
+        target = min(overlapping_indexes)
+        merged: Set[EntityPair] = set(new_pairs)
+        for index in overlapping_indexes:
+            merged |= self._messages[index]
+            if index != target:
+                self._messages[index] = set()
+        self._messages[target] = merged
+        for pair in merged:
+            self._owner[pair] = target
+        return frozenset(merged)
+
+    def add_all(self, messages: Iterable[Iterable[EntityPair]]) -> None:
+        for message in messages:
+            self.add(message)
+
+    def discard_pairs(self, pairs: Iterable[EntityPair]) -> None:
+        """Remove pairs (e.g. confirmed matches) from all messages."""
+        for pair in pairs:
+            index = self._owner.pop(pair, None)
+            if index is not None:
+                self._messages[index].discard(pair)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaximalMessageSet(messages={len(self)}, pairs={self.pair_count()})"

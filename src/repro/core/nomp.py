@@ -1,0 +1,47 @@
+"""NO-MP: run the matcher independently on every neighborhood.
+
+The baseline scheme of the experimental section: the black-box matcher is run
+once on each neighborhood with no evidence and no communication; the union of
+the per-neighborhood outputs is the result.  It is sound for well-behaved
+matchers (each neighborhood run is a sub-instance of the full run, so
+monotonicity gives containment) but misses every match that needs evidence
+from another neighborhood — the gap SMP and MMP close.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet, Optional, Set
+
+from ..blocking import Cover
+from ..datamodel import EntityPair, EntityStore
+from ..matchers import TypeIMatcher
+from .result import SchemeResult
+from .runner import NeighborhoodRunner
+
+
+class NoMessagePassing:
+    """The NO-MP scheme."""
+
+    scheme_name = "no-mp"
+
+    def run(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover,
+            runner: Optional[NeighborhoodRunner] = None) -> SchemeResult:
+        """Run the matcher on every neighborhood of ``cover`` independently."""
+        runner = runner if runner is not None else NeighborhoodRunner(matcher, store, cover)
+        started = time.perf_counter()
+        matches: Set[EntityPair] = set()
+        for neighborhood in cover:
+            matches |= runner.run(neighborhood.name)
+        elapsed = time.perf_counter() - started
+        return SchemeResult(
+            scheme=self.scheme_name,
+            matcher=matcher.name,
+            matches=frozenset(matches),
+            neighborhood_runs=runner.calls,
+            neighborhoods=len(cover),
+            rounds=1,
+            messages_passed=0,
+            elapsed_seconds=elapsed,
+            matcher_seconds=runner.matcher_seconds,
+        )

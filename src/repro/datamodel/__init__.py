@@ -1,0 +1,38 @@
+"""Entity/relation data model shared by every component of the library."""
+
+from .entity import AUTHOR_TYPE, PAPER_TYPE, Entity, entities_by_type, make_author, make_paper
+from .evidence import Evidence
+from .match_set import MatchSet
+from .pair import EntityPair, all_pairs, pairs_from, pairs_involving
+from .relation import (
+    AUTHORED,
+    CITES,
+    COAUTHOR,
+    SIMILAR,
+    Relation,
+    coauthor_from_authored,
+)
+from .store import EntityStore, SimilarityEdge
+
+__all__ = [
+    "AUTHOR_TYPE",
+    "PAPER_TYPE",
+    "AUTHORED",
+    "CITES",
+    "COAUTHOR",
+    "SIMILAR",
+    "Entity",
+    "EntityPair",
+    "EntityStore",
+    "Evidence",
+    "MatchSet",
+    "Relation",
+    "SimilarityEdge",
+    "all_pairs",
+    "coauthor_from_authored",
+    "entities_by_type",
+    "make_author",
+    "make_paper",
+    "pairs_from",
+    "pairs_involving",
+]

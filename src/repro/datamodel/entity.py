@@ -1,0 +1,122 @@
+"""Entity representation.
+
+An *entity* (the paper uses the term "entity reference") is an element of the
+collection ``E`` being matched.  In the running bibliography example an entity
+is either a *paper* or an *author reference*; each has a type, a unique id and
+a dictionary of attributes (title/journal/year for papers, fname/lname for
+author references).
+
+Entities are deliberately small immutable records: the matching framework
+treats them as opaque items and only ever inspects attributes through the
+similarity functions configured on a matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+
+#: Conventional entity-type names used by the bibliographic data model.  The
+#: framework itself accepts arbitrary type strings.
+AUTHOR_TYPE = "author"
+PAPER_TYPE = "paper"
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A single entity reference.
+
+    Parameters
+    ----------
+    entity_id:
+        Globally unique identifier.  The framework orders pairs by this id,
+        so it must be hashable and totally ordered (strings are used
+        throughout the library).
+    entity_type:
+        Free-form type tag, e.g. ``"author"`` or ``"paper"``.  Matchers only
+        compare entities of the same type.
+    attributes:
+        Mapping of attribute name to value.  Values are compared by the
+        similarity functions; strings are typical but any value is allowed.
+    """
+
+    entity_id: str
+    entity_type: str = AUTHOR_TYPE
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.entity_id, str) or not self.entity_id:
+            raise ValueError("entity_id must be a non-empty string")
+        if not isinstance(self.entity_type, str) or not self.entity_type:
+            raise ValueError("entity_type must be a non-empty string")
+        # Freeze the attribute mapping so the dataclass is genuinely immutable
+        # and hashing by identity-relevant fields stays safe.
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Return an attribute value, or ``default`` when missing."""
+        return self.attributes.get(attribute, default)
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.attributes[attribute]
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.entity_id, self.entity_type))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entity):
+            return NotImplemented
+        return (
+            self.entity_id == other.entity_id
+            and self.entity_type == other.entity_type
+            and dict(self.attributes) == dict(other.attributes)
+        )
+
+    def with_attributes(self, **updates: Any) -> "Entity":
+        """Return a copy of this entity with ``updates`` merged into its attributes."""
+        merged: Dict[str, Any] = dict(self.attributes)
+        merged.update(updates)
+        return Entity(self.entity_id, self.entity_type, merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.attributes.items()))
+        return f"Entity({self.entity_id!r}, {self.entity_type!r}, {{{attrs}}})"
+
+
+def make_author(entity_id: str, fname: str = "", lname: str = "",
+                source: Optional[str] = None, **extra: Any) -> Entity:
+    """Convenience constructor for an author-reference entity.
+
+    The bibliographic generators and examples use this helper so that the
+    attribute names (``fname``/``lname``) stay consistent across the library.
+    """
+    attributes: Dict[str, Any] = {"fname": fname, "lname": lname}
+    if source is not None:
+        attributes["source"] = source
+    attributes.update(extra)
+    return Entity(entity_id, AUTHOR_TYPE, attributes)
+
+
+def make_paper(entity_id: str, title: str = "", journal: str = "",
+               year: Optional[int] = None, category: Optional[str] = None,
+               **extra: Any) -> Entity:
+    """Convenience constructor for a paper entity."""
+    attributes: Dict[str, Any] = {"title": title, "journal": journal}
+    if year is not None:
+        attributes["year"] = year
+    if category is not None:
+        attributes["category"] = category
+    attributes.update(extra)
+    return Entity(entity_id, PAPER_TYPE, attributes)
+
+
+def entities_by_type(entities: Iterable[Entity]) -> Dict[str, list]:
+    """Group ``entities`` into a dict keyed by their ``entity_type``."""
+    groups: Dict[str, list] = {}
+    for entity in entities:
+        groups.setdefault(entity.entity_type, []).append(entity)
+    return groups

@@ -1,0 +1,39 @@
+"""Synthetic bibliographic datasets with ground truth (Section 6 workloads)."""
+
+from .dblp import dblp_config, dblp_like, dblp_tiny
+from .dblp_big import dblp_big_config, dblp_big_like
+from .generator import BibliographyGenerator, GeneratorConfig, generate_bibliography
+from .hepth import hepth_config, hepth_like, hepth_tiny
+from .loader import dataset_from_dict, dataset_to_dict, load_dataset, save_dataset
+from .names import FIRST_NAMES, LAST_NAMES
+from .noise import DBLP_NOISE, HEPTH_NOISE, NameNoiseModel, abbreviate_first_name, mutate_name
+from .schema import BibliographicDataset
+from .similar import add_similarity_edges, default_candidate_key
+
+__all__ = [
+    "BibliographicDataset",
+    "BibliographyGenerator",
+    "DBLP_NOISE",
+    "FIRST_NAMES",
+    "GeneratorConfig",
+    "HEPTH_NOISE",
+    "LAST_NAMES",
+    "NameNoiseModel",
+    "abbreviate_first_name",
+    "add_similarity_edges",
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "dblp_big_config",
+    "dblp_big_like",
+    "dblp_config",
+    "dblp_like",
+    "dblp_tiny",
+    "default_candidate_key",
+    "generate_bibliography",
+    "hepth_config",
+    "hepth_like",
+    "hepth_tiny",
+    "load_dataset",
+    "mutate_name",
+    "save_dataset",
+]

@@ -1,0 +1,97 @@
+"""Saving and loading datasets.
+
+Datasets round-trip through a small JSON layout so that a generated instance
+can be inspected, versioned, shared, or re-used across benchmark runs without
+re-generating it.  The layout stores entities, relations, similarity edges,
+labels and the generation config in a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..datamodel import Entity, EntityPair, EntityStore, Relation
+from .schema import BibliographicDataset
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def dataset_to_dict(dataset: BibliographicDataset) -> Dict:
+    """Serialise a dataset to a JSON-compatible dictionary."""
+    store = dataset.store
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "config": dataset.config,
+        "entities": [
+            {
+                "id": entity.entity_id,
+                "type": entity.entity_type,
+                "attributes": dict(entity.attributes),
+            }
+            for entity in sorted(store, key=lambda e: e.entity_id)
+        ],
+        "relations": [
+            {
+                "name": relation.name,
+                "arity": relation.arity,
+                "symmetric": relation.symmetric,
+                "tuples": sorted(list(tup) for tup in relation),
+            }
+            for relation in store.relations()
+        ],
+        "similar": [
+            {
+                "first": edge.pair.first,
+                "second": edge.pair.second,
+                "score": edge.score,
+                "level": edge.level,
+            }
+            for edge in sorted(store.similarity_edges(), key=lambda e: e.pair)
+        ],
+        "labels": dict(sorted(dataset.labels.items())),
+    }
+
+
+def dataset_from_dict(payload: Dict) -> BibliographicDataset:
+    """Rebuild a dataset from the dictionary produced by :func:`dataset_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version: {version!r}")
+    store = EntityStore()
+    for record in payload["entities"]:
+        store.add_entity(Entity(record["id"], record["type"], record["attributes"]))
+    for record in payload["relations"]:
+        relation = Relation(record["name"], record["arity"], record["symmetric"])
+        for tup in record["tuples"]:
+            relation.add(*tup)
+        store.add_relation(relation)
+    for record in payload["similar"]:
+        store.add_similarity(EntityPair.of(record["first"], record["second"]),
+                             record["score"], record["level"])
+    return BibliographicDataset(
+        name=payload["name"],
+        store=store,
+        labels=dict(payload["labels"]),
+        config=dict(payload.get("config", {})),
+    )
+
+
+def save_dataset(dataset: BibliographicDataset, path: PathLike) -> Path:
+    """Write a dataset to a JSON file; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(dataset_to_dict(dataset), handle, indent=1, sort_keys=False)
+    return target
+
+
+def load_dataset(path: PathLike) -> BibliographicDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return dataset_from_dict(payload)

@@ -1,0 +1,123 @@
+"""Name pools used by the synthetic bibliography generators.
+
+The generators need two properties from the name pools:
+
+* enough *distinct* first names that full-name data (DBLP-like) rarely
+  collides, and
+* a deliberately heavy-tailed last-name pool so that abbreviated-name data
+  (HEPTH-like) produces plenty of "J. Smith" style clashes — the paper
+  attributes HEPTH's larger neighborhoods exactly to such clashes.
+
+Pools are plain module-level tuples so that generation is deterministic given
+a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "James", "John", "Robert", "Michael", "William", "David", "Richard", "Joseph",
+    "Thomas", "Charles", "Christopher", "Daniel", "Matthew", "Anthony", "Donald",
+    "Mark", "Paul", "Steven", "Andrew", "Kenneth", "George", "Joshua", "Kevin",
+    "Brian", "Edward", "Ronald", "Timothy", "Jason", "Jeffrey", "Ryan", "Jacob",
+    "Gary", "Nicholas", "Eric", "Stephen", "Jonathan", "Larry", "Justin", "Scott",
+    "Brandon", "Frank", "Benjamin", "Gregory", "Samuel", "Raymond", "Patrick",
+    "Alexander", "Jack", "Dennis", "Jerry", "Mary", "Patricia", "Jennifer", "Linda",
+    "Elizabeth", "Barbara", "Susan", "Jessica", "Sarah", "Karen", "Nancy", "Lisa",
+    "Margaret", "Betty", "Sandra", "Ashley", "Dorothy", "Kimberly", "Emily",
+    "Donna", "Michelle", "Carol", "Amanda", "Melissa", "Deborah", "Stephanie",
+    "Rebecca", "Laura", "Sharon", "Cynthia", "Kathleen", "Amy", "Shirley",
+    "Angela", "Helen", "Anna", "Brenda", "Pamela", "Nicole", "Ruth", "Katherine",
+    "Samantha", "Christine", "Emma", "Catherine", "Virginia", "Rachel", "Carolyn",
+    "Janet", "Maria", "Wei", "Ming", "Jun", "Hiroshi", "Kenji", "Yuki", "Anil",
+    "Raj", "Priya", "Sanjay", "Vikram", "Amit", "Ravi", "Lei", "Xin", "Yan",
+    "Hans", "Klaus", "Jurgen", "Pierre", "Jean", "Marie", "Luc", "Andre",
+    "Giovanni", "Marco", "Luca", "Carlos", "Jose", "Luis", "Miguel", "Pablo",
+    "Ivan", "Dmitri", "Sergei", "Olga", "Natasha", "Ahmed", "Mohamed", "Ali",
+    "Fatima", "Omar", "Chen", "Ying", "Tao", "Feng", "Hui", "Jin", "Sung",
+    "Min", "Jae", "Takeshi", "Akira", "Satoshi",
+)
+
+#: Common last names appear much more often than rare ones; the generator
+#: samples last names with a Zipf-like bias toward the front of this tuple.
+LAST_NAMES: Tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Wang", "Li", "Zhang", "Chen", "Liu",
+    "Yang", "Huang", "Wu", "Zhou", "Xu", "Kim", "Lee", "Park", "Choi",
+    "Singh", "Kumar", "Patel", "Sharma", "Gupta", "Nguyen", "Tran", "Pham",
+    "Tanaka", "Suzuki", "Sato", "Watanabe", "Yamamoto", "Nakamura", "Kobayashi",
+    "Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "Wagner",
+    "Becker", "Hoffmann", "Schulz", "Koch", "Dubois", "Martin", "Bernard",
+    "Petit", "Durand", "Leroy", "Moreau", "Rossi", "Russo", "Ferrari",
+    "Esposito", "Bianchi", "Romano", "Ricci", "Silva", "Santos", "Oliveira",
+    "Souza", "Pereira", "Fernandez", "Lopez", "Gonzalez", "Perez", "Sanchez",
+    "Ramirez", "Torres", "Flores", "Rivera", "Gomez", "Diaz", "Ivanov",
+    "Petrov", "Smirnov", "Kuznetsov", "Popov", "Volkov", "Anderson", "Thomas",
+    "Jackson", "White", "Harris", "Thompson", "Moore", "Taylor", "Wilson",
+    "Clark", "Lewis", "Robinson", "Walker", "Hall", "Allen", "Young", "King",
+    "Wright", "Scott", "Green", "Baker", "Adams", "Nelson", "Hill", "Campbell",
+    "Mitchell", "Roberts", "Carter", "Phillips", "Evans", "Turner", "Parker",
+    "Collins", "Edwards", "Stewart", "Morris", "Murphy", "Cook", "Rogers",
+    "Morgan", "Peterson", "Cooper", "Reed", "Bailey", "Bell", "Kelly", "Howard",
+    "Ward", "Cox", "Richardson", "Wood", "Watson", "Brooks", "Bennett", "Gray",
+    "James", "Reyes", "Cruz", "Hughes", "Price", "Myers", "Long", "Foster",
+    "Sanders", "Ross", "Morales", "Powell", "Sullivan", "Russell", "Ortiz",
+    "Jenkins", "Gutierrez", "Perry", "Butler", "Barnes", "Fisher",
+)
+
+#: Research-paper title vocabulary (used to give papers plausible titles).
+TITLE_WORDS: Tuple[str, ...] = (
+    "scalable", "collective", "entity", "matching", "resolution", "record",
+    "linkage", "deduplication", "probabilistic", "inference", "markov", "logic",
+    "networks", "relational", "learning", "graphical", "models", "query",
+    "optimization", "distributed", "parallel", "systems", "data", "integration",
+    "cleaning", "blocking", "clustering", "similarity", "joins", "indexing",
+    "streams", "approximate", "string", "algorithms", "theory", "gauge",
+    "symmetry", "quantum", "field", "branes", "strings", "duality", "lattice",
+    "supersymmetric", "holographic", "boundary", "conditions", "anomalies",
+    "cosmology", "black", "holes", "entropy", "partition", "functions",
+)
+
+JOURNALS: Tuple[str, ...] = (
+    "VLDB", "SIGMOD", "ICDE", "KDD", "ICDM", "NIPS", "ICML", "JHEP",
+    "Nucl. Phys. B", "Phys. Rev. D", "Phys. Lett. B", "TKDD", "PVLDB",
+)
+
+CATEGORIES: Tuple[str, ...] = (
+    "databases", "machine-learning", "data-mining", "hep-th", "hep-ph",
+)
+
+
+def sample_last_name(rng: random.Random, concentration: float = 1.0) -> str:
+    """Sample a last name with a bias toward the common (front) names.
+
+    ``concentration`` ≥ 1 skews the distribution toward the head of the pool:
+    with higher concentration more authors share the same common last names,
+    which is the knob the HEPTH-like preset turns up to create name clashes.
+    """
+    if concentration < 0:
+        raise ValueError("concentration must be non-negative")
+    # Draw a uniform in [0, 1), raise it to the concentration power: values
+    # cluster near 0 for large concentration, picking head names more often.
+    position = rng.random() ** (1.0 + concentration)
+    index = int(position * len(LAST_NAMES))
+    return LAST_NAMES[min(index, len(LAST_NAMES) - 1)]
+
+
+def sample_first_name(rng: random.Random) -> str:
+    return rng.choice(FIRST_NAMES)
+
+
+def sample_title(rng: random.Random, words: int = 6) -> str:
+    chosen = [rng.choice(TITLE_WORDS) for _ in range(max(3, words))]
+    return " ".join(chosen).capitalize()
+
+
+def sample_journal(rng: random.Random) -> str:
+    return rng.choice(JOURNALS)
+
+
+def sample_category(rng: random.Random) -> str:
+    return rng.choice(CATEGORIES)

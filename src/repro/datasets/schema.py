@@ -1,0 +1,82 @@
+"""Bibliographic dataset container and ground truth.
+
+A :class:`BibliographicDataset` bundles everything an experiment needs:
+
+* the :class:`~repro.datamodel.store.EntityStore` with author-reference and
+  paper entities, the ``authored``/``cites``/``coauthor`` relations and the
+  ``Similar`` edges,
+* the ground-truth labelling (author reference → true author id),
+* convenience accessors for the true match pairs (all pairs of references of
+  the same true author, or only those among the candidate pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from ..datamodel import EntityPair, EntityStore, MatchSet
+
+
+@dataclass
+class BibliographicDataset:
+    """A synthetic bibliography instance with ground truth."""
+
+    name: str
+    store: EntityStore
+    #: author-reference entity id -> true author identifier.
+    labels: Dict[str, str]
+    #: Free-form generation parameters, kept for reports and provenance.
+    config: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ ground truth
+    def true_match_set(self) -> MatchSet:
+        """All pairs of references labelled with the same true author."""
+        return MatchSet.from_entity_labels(self.labels)
+
+    def true_matches(self) -> FrozenSet[EntityPair]:
+        return self.true_match_set().pairs
+
+    def true_candidate_matches(self) -> FrozenSet[EntityPair]:
+        """True matches restricted to the candidate (similar) pairs of the store.
+
+        This restriction is what a matcher can actually hope to find: a pair
+        of duplicate references that did not even survive the similarity
+        candidate generation is invisible to every scheme, including a full
+        run.
+        """
+        return self.true_matches() & self.store.similar_pairs()
+
+    def is_true_match(self, pair: EntityPair) -> bool:
+        label_a = self.labels.get(pair.first)
+        label_b = self.labels.get(pair.second)
+        return label_a is not None and label_a == label_b
+
+    # ------------------------------------------------------------------ stats
+    def reference_count(self) -> int:
+        """Number of author-reference entities."""
+        return len(self.labels)
+
+    def distinct_author_count(self) -> int:
+        return len(set(self.labels.values()))
+
+    def paper_count(self) -> int:
+        return len(self.store.entities_of_type("paper"))
+
+    def duplicate_pair_count(self) -> int:
+        return len(self.true_matches())
+
+    def stats(self) -> Dict[str, int]:
+        """Headline numbers in the format the paper reports for its datasets."""
+        return {
+            "author_references": self.reference_count(),
+            "distinct_authors": self.distinct_author_count(),
+            "papers": self.paper_count(),
+            "true_match_pairs": self.duplicate_pair_count(),
+            "candidate_pairs": len(self.store.similar_pairs()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (f"BibliographicDataset({self.name!r}, refs={stats['author_references']}, "
+                f"authors={stats['distinct_authors']}, papers={stats['papers']})")

@@ -1,0 +1,75 @@
+"""Building the ``Similar`` relation of a dataset.
+
+The experiments discretise a Jaro-Winkler-based author-name similarity to the
+levels {1, 2, 3} (Appendix B) and only keep pairs at level ≥ 1 as candidate
+match decisions.  Computing the score for *every* pair of references is
+quadratic, so candidate generation first groups references by a cheap key
+(Soundex of the last name together with the first-name initial by default) and
+only scores pairs within a group — the same idea as blocking, applied here to
+the construction of the ``Similar`` relation itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..datamodel import Entity, EntityPair, EntityStore
+from ..similarity import (
+    AuthorNameSimilarity,
+    DEFAULT_AUTHOR_SIMILARITY,
+    DEFAULT_LEVELS,
+    SimilarityLevels,
+    soundex,
+)
+
+
+def default_candidate_key(entity: Entity) -> str:
+    """Cheap grouping key: Soundex(last name) + first initial (empty-safe)."""
+    last = str(entity.get("lname", ""))
+    first = str(entity.get("fname", "")).strip().strip(".")
+    initial = first[:1].lower() if first else ""
+    return f"{soundex(last)}|{initial}"
+
+
+def add_similarity_edges(store: EntityStore,
+                         entity_type: str = "author",
+                         similarity: Optional[AuthorNameSimilarity] = None,
+                         levels: Optional[SimilarityLevels] = None,
+                         candidate_key: Callable[[Entity], str] = default_candidate_key,
+                         include_initial_groups: bool = True) -> int:
+    """Score candidate pairs and record their ``Similar`` edges in ``store``.
+
+    Returns the number of edges added.  Pairs below the lowest level threshold
+    are not recorded — they are simply not candidate match decisions.
+
+    ``include_initial_groups`` additionally groups references by
+    (last-name Soundex) alone, so that a mutated first name cannot prevent two
+    references of the same author from being compared at all.
+    """
+    measure = similarity if similarity is not None else DEFAULT_AUTHOR_SIMILARITY
+    level_thresholds = levels if levels is not None else DEFAULT_LEVELS
+    authors = store.entities_of_type(entity_type)
+
+    groups: Dict[str, List[Entity]] = {}
+    for entity in authors:
+        groups.setdefault(candidate_key(entity), []).append(entity)
+        if include_initial_groups:
+            groups.setdefault(f"lastonly|{soundex(str(entity.get('lname', '')))}",
+                              []).append(entity)
+
+    scored: Set[EntityPair] = set()
+    added = 0
+    for members in groups.values():
+        members = sorted(members, key=lambda e: e.entity_id)
+        for i, entity_a in enumerate(members):
+            for entity_b in members[i + 1:]:
+                pair = EntityPair.of(entity_a, entity_b)
+                if pair in scored:
+                    continue
+                scored.add(pair)
+                score = measure.score_entities(entity_a, entity_b)
+                level = level_thresholds.level(score)
+                if level >= 1:
+                    store.add_similarity(pair, min(score, 1.0), level)
+                    added += 1
+    return added

@@ -1,0 +1,27 @@
+"""Dedupalog-style declarative rule engine used by the RULES matcher."""
+
+from .ast import (
+    DedupalogProgram,
+    HardEqualityRule,
+    SoftNegativeRule,
+    SoftSimilarityRule,
+    paper_rules_program,
+)
+from .clustering import clustering_cost, clusters_to_matches, pivot_correlation_clustering
+from .engine import DedupalogEngine
+from .parser import PAPER_RULES_TEXT, parse_program, parse_rule_line
+
+__all__ = [
+    "DedupalogEngine",
+    "DedupalogProgram",
+    "HardEqualityRule",
+    "PAPER_RULES_TEXT",
+    "SoftNegativeRule",
+    "SoftSimilarityRule",
+    "clustering_cost",
+    "clusters_to_matches",
+    "parse_program",
+    "parse_rule_line",
+    "paper_rules_program",
+    "pivot_correlation_clustering",
+]

@@ -1,0 +1,35 @@
+"""Evaluation: accuracy metrics, soundness/completeness, experiment harness."""
+
+from .blocking_metrics import (
+    BlockingReport,
+    covered_pairs,
+    evaluate_cover,
+    pair_completeness,
+    reduction_ratio,
+)
+from .experiment import ExperimentOutcome, ExperimentRow, ExperimentRunner
+from .metrics import PrecisionRecall, cluster_metrics, precision_recall_f1
+from .report import format_experiment, format_key_values, format_table
+from .soundness import SoundnessReport, soundness_completeness
+from .timing import Stopwatch, time_call
+
+__all__ = [
+    "BlockingReport",
+    "ExperimentOutcome",
+    "ExperimentRow",
+    "ExperimentRunner",
+    "PrecisionRecall",
+    "SoundnessReport",
+    "Stopwatch",
+    "cluster_metrics",
+    "covered_pairs",
+    "evaluate_cover",
+    "format_experiment",
+    "format_key_values",
+    "format_table",
+    "pair_completeness",
+    "precision_recall_f1",
+    "reduction_ratio",
+    "soundness_completeness",
+    "time_call",
+]

@@ -1,0 +1,96 @@
+"""Quality metrics for covers / blocking schemes.
+
+Blocking quality is traditionally judged independently of the matcher by two
+complementary numbers:
+
+* **pair completeness** (recall of the candidate set): the fraction of true
+  match pairs that end up together in at least one neighborhood — a pair that
+  never shares a neighborhood can never be matched by any scheme;
+* **reduction ratio**: how much smaller the candidate-pair set is than the
+  full quadratic set of comparisons.
+
+These metrics drive the canopy-threshold ablation and are useful when tuning
+a blocker for new data before paying for any matcher runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..blocking import Cover
+from ..datamodel import EntityPair
+
+
+@dataclass(frozen=True)
+class BlockingReport:
+    """Candidate-generation quality of a cover."""
+
+    pair_completeness: float
+    reduction_ratio: float
+    candidate_pairs: int
+    covered_true_pairs: int
+    true_pairs: int
+    total_possible_pairs: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "pair_completeness": self.pair_completeness,
+            "reduction_ratio": self.reduction_ratio,
+            "candidate_pairs": float(self.candidate_pairs),
+            "covered_true_pairs": float(self.covered_true_pairs),
+            "true_pairs": float(self.true_pairs),
+            "total_possible_pairs": float(self.total_possible_pairs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BlockingReport(pair_completeness={self.pair_completeness:.3f}, "
+                f"reduction_ratio={self.reduction_ratio:.3f}, "
+                f"candidate_pairs={self.candidate_pairs})")
+
+
+def covered_pairs(cover: Cover, pairs: Iterable[EntityPair]) -> FrozenSet[EntityPair]:
+    """The subset of ``pairs`` whose two entities share at least one neighborhood."""
+    return frozenset(p for p in pairs if cover.neighborhoods_of_pair(p))
+
+
+def pair_completeness(cover: Cover, true_pairs: Iterable[EntityPair]) -> float:
+    """Fraction of true match pairs co-located in some neighborhood."""
+    truth = frozenset(true_pairs)
+    if not truth:
+        return 1.0
+    return len(covered_pairs(cover, truth)) / len(truth)
+
+
+def reduction_ratio(cover: Cover, entity_count: Optional[int] = None) -> float:
+    """1 − (candidate pairs / all possible pairs); higher is cheaper.
+
+    ``entity_count`` defaults to the number of entities the cover spans.  The
+    candidate count is the sum of per-neighborhood pair counts (the work a
+    matcher actually faces), so overlapping neighborhoods are counted with
+    their duplication — a deliberately conservative measure.
+    """
+    count = entity_count if entity_count is not None else len(cover.covered_entities())
+    total_possible = count * (count - 1) // 2
+    if total_possible == 0:
+        return 0.0
+    return max(0.0, 1.0 - cover.total_pairs() / total_possible)
+
+
+def evaluate_cover(cover: Cover, true_pairs: Iterable[EntityPair],
+                   entity_count: Optional[int] = None) -> BlockingReport:
+    """Full blocking-quality report for ``cover`` against the ground truth."""
+    truth = frozenset(true_pairs)
+    count = entity_count if entity_count is not None else len(cover.covered_entities())
+    total_possible = count * (count - 1) // 2
+    covered = covered_pairs(cover, truth)
+    completeness = (len(covered) / len(truth)) if truth else 1.0
+    reduction = max(0.0, 1.0 - cover.total_pairs() / total_possible) if total_possible else 0.0
+    return BlockingReport(
+        pair_completeness=completeness,
+        reduction_ratio=reduction,
+        candidate_pairs=cover.total_pairs(),
+        covered_true_pairs=len(covered),
+        true_pairs=len(truth),
+        total_possible_pairs=total_possible,
+    )

@@ -1,0 +1,155 @@
+"""Experiment harness: run schemes on a dataset and collect metric rows.
+
+The benchmark scripts (one per table/figure of the paper) all follow the same
+shape: build a dataset, build a cover, run a set of schemes with a matcher,
+and report accuracy / soundness-completeness / running-time rows.  This module
+factors that shape into :class:`ExperimentRunner` so that every bench is a
+thin, declarative wrapper, and `EXPERIMENTS.md` can be generated from the same
+rows the benches print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from ..blocking import Blocker, CanopyBlocker, Cover, build_total_cover
+from ..core import EMFramework, SchemeResult
+from ..datamodel import EntityPair
+from ..datasets import BibliographicDataset
+from ..exceptions import ExperimentError
+from ..matchers import TypeIIMatcher, TypeIMatcher
+from .metrics import PrecisionRecall, precision_recall_f1
+from .soundness import SoundnessReport, soundness_completeness
+
+
+@dataclass
+class ExperimentRow:
+    """One row of an experiment table: a scheme's accuracy and cost."""
+
+    dataset: str
+    matcher: str
+    scheme: str
+    precision: float
+    recall: float
+    f1: float
+    matches: int
+    elapsed_seconds: float
+    neighborhood_runs: int = 0
+    soundness: Optional[float] = None
+    completeness: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "dataset": self.dataset,
+            "matcher": self.matcher,
+            "scheme": self.scheme,
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+            "matches": self.matches,
+            "time_s": round(self.elapsed_seconds, 4),
+            "runs": self.neighborhood_runs,
+        }
+        if self.soundness is not None:
+            row["soundness"] = round(self.soundness, 4)
+        if self.completeness is not None:
+            row["completeness"] = round(self.completeness, 4)
+        return row
+
+
+@dataclass
+class ExperimentOutcome:
+    """All rows plus the raw scheme results of one experiment."""
+
+    dataset: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+    results: Dict[str, SchemeResult] = field(default_factory=dict)
+    cover_stats: Dict[str, float] = field(default_factory=dict)
+
+    def row_for(self, scheme: str) -> ExperimentRow:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise ExperimentError(f"no row for scheme {scheme!r} in experiment {self.dataset!r}")
+
+
+class ExperimentRunner:
+    """Runs a matcher + scheme set on a dataset and assembles metric rows."""
+
+    def __init__(self, dataset: BibliographicDataset, matcher: TypeIMatcher,
+                 cover: Optional[Cover] = None, blocker: Optional[Blocker] = None):
+        self.dataset = dataset
+        self.matcher = matcher
+        self.framework = EMFramework(
+            matcher=matcher,
+            store=dataset.store,
+            cover=cover,
+            blocker=blocker if blocker is not None else CanopyBlocker(),
+        )
+        self.truth = dataset.true_matches()
+
+    # ---------------------------------------------------------------- pieces
+    def evaluate(self, result: SchemeResult,
+                 reference: Optional[FrozenSet[EntityPair]] = None) -> ExperimentRow:
+        """Turn a scheme result into a table row (optionally vs a reference run)."""
+        accuracy = precision_recall_f1(result.matches, self.truth)
+        soundness: Optional[float] = None
+        completeness: Optional[float] = None
+        if reference is not None:
+            report = soundness_completeness(result.matches, reference)
+            soundness = report.soundness
+            completeness = report.completeness
+        return ExperimentRow(
+            dataset=self.dataset.name,
+            matcher=self.matcher.name,
+            scheme=result.scheme,
+            precision=accuracy.precision,
+            recall=accuracy.recall,
+            f1=accuracy.f1,
+            matches=len(result.matches),
+            elapsed_seconds=result.elapsed_seconds,
+            neighborhood_runs=result.neighborhood_runs,
+            soundness=soundness,
+            completeness=completeness,
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(self, schemes: Sequence[str] = ("no-mp", "smp", "mmp"),
+            include_upper_bound: bool = False,
+            include_full: bool = False,
+            reference_scheme: Optional[str] = None) -> ExperimentOutcome:
+        """Run the requested schemes and build the experiment table.
+
+        ``reference_scheme`` names the scheme whose output the others'
+        soundness/completeness is measured against ("full" or "ub" typically).
+        """
+        outcome = ExperimentOutcome(dataset=self.dataset.name,
+                                    cover_stats=self.framework.cover_stats())
+        results: Dict[str, SchemeResult] = {}
+
+        for scheme in schemes:
+            normalized = scheme.lower().replace("_", "-")
+            if normalized == "mmp" and not isinstance(self.matcher, TypeIIMatcher):
+                continue
+            results[normalized] = self.framework.run(normalized)
+        if include_full:
+            results["full"] = self.framework.run_full()
+        if include_upper_bound:
+            results["ub"] = self.framework.run_upper_bound(self.truth)
+
+        reference: Optional[FrozenSet[EntityPair]] = None
+        if reference_scheme is not None:
+            normalized_reference = reference_scheme.lower().replace("_", "-")
+            if normalized_reference not in results:
+                raise ExperimentError(
+                    f"reference scheme {reference_scheme!r} was not among the runs"
+                )
+            reference = results[normalized_reference].matches
+
+        for name, result in results.items():
+            outcome.results[name] = result
+            compare_against = reference if name != reference_scheme else None
+            outcome.rows.append(self.evaluate(result, reference=compare_against))
+        return outcome

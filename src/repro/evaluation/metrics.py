@@ -1,0 +1,97 @@
+"""Accuracy metrics: pairwise precision, recall and F1.
+
+The paper evaluates every scheme with pairwise precision/recall/F1 against the
+ground truth (Figures 3(a)/(b) and 4(a)/(b)).  The metrics here operate on
+sets of :class:`~repro.datamodel.pair.EntityPair`:
+
+* *precision* — fraction of predicted pairs that are true matches,
+* *recall* — fraction of true match pairs that were predicted,
+* *F1* — harmonic mean of the two.
+
+``restrict_to`` lets the caller evaluate recall against only the reachable
+truth (e.g. true matches that are candidate pairs), which is how the paper's
+"recall of UB upper-bounds the recall of the full run" argument is applied in
+practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..datamodel import EntityPair
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision / recall / F1 triple with the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "true_positives": float(self.true_positives),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+                f"(tp={self.true_positives}, fp={self.false_positives}, "
+                f"fn={self.false_negatives})")
+
+
+def precision_recall_f1(predicted: Iterable[EntityPair],
+                        truth: Iterable[EntityPair],
+                        restrict_to: Optional[Iterable[EntityPair]] = None
+                        ) -> PrecisionRecall:
+    """Pairwise precision/recall/F1 of ``predicted`` against ``truth``.
+
+    ``restrict_to`` (when given) limits both sets to the supplied universe of
+    pairs before computing the counts.
+    """
+    predicted_set = frozenset(predicted)
+    truth_set = frozenset(truth)
+    if restrict_to is not None:
+        universe = frozenset(restrict_to)
+        predicted_set &= universe
+        truth_set &= universe
+
+    true_positives = len(predicted_set & truth_set)
+    false_positives = len(predicted_set - truth_set)
+    false_negatives = len(truth_set - predicted_set)
+
+    precision = true_positives / (true_positives + false_positives) \
+        if predicted_set else (1.0 if not truth_set else 0.0)
+    recall = true_positives / (true_positives + false_negatives) \
+        if truth_set else 1.0
+    f1 = (2 * precision * recall / (precision + recall)) \
+        if (precision + recall) > 0 else 0.0
+    return PrecisionRecall(precision, recall, f1,
+                           true_positives, false_positives, false_negatives)
+
+
+def cluster_metrics(predicted_clusters: Iterable[Iterable[str]],
+                    true_clusters: Iterable[Iterable[str]]) -> Dict[str, float]:
+    """Cluster-level precision/recall: fraction of exactly-recovered clusters.
+
+    A coarser, easier-to-read metric sometimes used alongside pairwise F1:
+    a predicted cluster counts as correct when it exactly equals some true
+    cluster (singleton clusters are ignored on both sides).
+    """
+    predicted = {frozenset(c) for c in predicted_clusters if len(set(c)) > 1}
+    truth = {frozenset(c) for c in true_clusters if len(set(c)) > 1}
+    if not predicted and not truth:
+        return {"cluster_precision": 1.0, "cluster_recall": 1.0}
+    correct = len(predicted & truth)
+    precision = correct / len(predicted) if predicted else 1.0
+    recall = correct / len(truth) if truth else 1.0
+    return {"cluster_precision": precision, "cluster_recall": recall}

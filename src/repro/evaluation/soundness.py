@@ -1,0 +1,67 @@
+"""Soundness and completeness of a scheme relative to a reference run.
+
+Section 2.2.1 defines the two framework-specific metrics:
+
+* *soundness* — the fraction of the scheme's matches that the reference
+  (ideally the matcher run on the whole dataset) also produces.  A sound
+  scheme has soundness 1.
+* *completeness* — the fraction of the reference's matches the scheme
+  recovers.  Note this is *not* recall: it is measured against the matcher's
+  own full-run output (or the UB surrogate), not against the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable
+
+from ..datamodel import EntityPair
+
+
+@dataclass(frozen=True)
+class SoundnessReport:
+    """Soundness/completeness of a scheme against a reference match set."""
+
+    soundness: float
+    completeness: float
+    scheme_matches: int
+    reference_matches: int
+    common_matches: int
+
+    @property
+    def is_sound(self) -> bool:
+        return self.soundness >= 1.0
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completeness >= 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "soundness": self.soundness,
+            "completeness": self.completeness,
+            "scheme_matches": float(self.scheme_matches),
+            "reference_matches": float(self.reference_matches),
+            "common_matches": float(self.common_matches),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SoundnessReport(soundness={self.soundness:.3f}, "
+                f"completeness={self.completeness:.3f})")
+
+
+def soundness_completeness(scheme_matches: Iterable[EntityPair],
+                           reference_matches: Iterable[EntityPair]) -> SoundnessReport:
+    """Compute soundness and completeness of ``scheme_matches`` vs ``reference_matches``."""
+    scheme_set = frozenset(scheme_matches)
+    reference_set = frozenset(reference_matches)
+    common = scheme_set & reference_set
+    soundness = len(common) / len(scheme_set) if scheme_set else 1.0
+    completeness = len(common) / len(reference_set) if reference_set else 1.0
+    return SoundnessReport(
+        soundness=soundness,
+        completeness=completeness,
+        scheme_matches=len(scheme_set),
+        reference_matches=len(reference_set),
+        common_matches=len(common),
+    )

@@ -1,0 +1,47 @@
+"""Small timing utilities shared by the experiment harness and the benches."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named durations.
+
+    >>> watch = Stopwatch()
+    >>> with watch.measure("blocking"):
+    ...     build_cover()
+    >>> watch.total("blocking")
+    """
+
+    durations: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.durations.setdefault(label, []).append(elapsed)
+
+    def total(self, label: str) -> float:
+        """Total seconds recorded under ``label`` (0.0 when never measured)."""
+        return sum(self.durations.get(label, ()))
+
+    def count(self, label: str) -> int:
+        return len(self.durations.get(label, ()))
+
+    def summary(self) -> Dict[str, float]:
+        return {label: sum(values) for label, values in self.durations.items()}
+
+
+def time_call(function, *args, **kwargs):
+    """Call ``function`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - started

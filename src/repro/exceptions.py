@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DataModelError(ReproError):
+    """Raised for inconsistencies in the entity/relation data model."""
+
+
+class UnknownEntityError(DataModelError):
+    """Raised when an entity id is referenced but not registered in a store."""
+
+    def __init__(self, entity_id: str):
+        super().__init__(f"unknown entity id: {entity_id!r}")
+        self.entity_id = entity_id
+
+
+class UnknownRelationError(DataModelError):
+    """Raised when a relation name is referenced but not declared."""
+
+    def __init__(self, relation_name: str):
+        super().__init__(f"unknown relation: {relation_name!r}")
+        self.relation_name = relation_name
+
+
+class InvalidPairError(DataModelError):
+    """Raised when an entity pair is constructed from identical entities."""
+
+
+class CoverError(ReproError):
+    """Raised for invalid covers (e.g. a cover that does not span all entities)."""
+
+
+class MatcherError(ReproError):
+    """Raised when a matcher is mis-configured or violates its contract."""
+
+
+class InferenceError(MatcherError):
+    """Raised when probabilistic inference fails to produce a valid state."""
+
+
+class RuleParseError(ReproError):
+    """Raised when a dedupalog rule string cannot be parsed."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the evaluation/experiment harness for invalid configurations."""

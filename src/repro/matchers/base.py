@@ -1,0 +1,84 @@
+"""Black-box matcher abstractions (Section 3 of the paper).
+
+* :class:`TypeIMatcher` — a deterministic matcher: a function from an entity
+  collection plus positive/negative evidence sets to a set of matches
+  (Definition 1).  Any entity matcher can be wrapped this way.
+* :class:`TypeIIMatcher` — a probabilistic matcher: additionally exposes the
+  (unnormalised log-)probability of an arbitrary match set, so the framework
+  can perform the cheap score comparisons MMP's step 7 needs (Definition 5).
+
+A matcher is *well-behaved* (Definition 4) when it is idempotent and monotone;
+Type-II matchers should additionally be supermodular (Definition 6) for MMP's
+soundness guarantee.  The property checkers in
+:mod:`repro.matchers.properties` test these empirically on small instances.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Iterable, Optional
+
+from ..datamodel import EntityPair, EntityStore, Evidence
+
+
+class TypeIMatcher(abc.ABC):
+    """Deterministic black-box entity matcher."""
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "matcher"
+
+    @abc.abstractmethod
+    def match(self, store: EntityStore,
+              evidence: Optional[Evidence] = None) -> FrozenSet[EntityPair]:
+        """Return the matches for the entities in ``store`` given ``evidence``.
+
+        ``evidence.positive`` pairs must be honoured as known matches,
+        ``evidence.negative`` pairs must never be returned.  The output is a
+        set of canonical :class:`EntityPair` values over entities of
+        ``store``.
+        """
+
+    def match_pairs(self, store: EntityStore,
+                    positive: Iterable[EntityPair] = (),
+                    negative: Iterable[EntityPair] = ()) -> FrozenSet[EntityPair]:
+        """Convenience wrapper building the :class:`Evidence` object for you."""
+        return self.match(store, Evidence.of(positive, negative))
+
+    @property
+    def is_probabilistic(self) -> bool:
+        """Whether the matcher is a Type-II (probabilistic) matcher."""
+        return isinstance(self, TypeIIMatcher)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class TypeIIMatcher(TypeIMatcher):
+    """Probabilistic black-box matcher.
+
+    The output of :meth:`match` is the most likely match set (conditioned on
+    the evidence); :meth:`log_score` evaluates the unnormalised
+    log-probability of an arbitrary set, which must be cheap.
+    """
+
+    @abc.abstractmethod
+    def log_score(self, store: EntityStore,
+                  matches: Iterable[EntityPair]) -> float:
+        """Unnormalised log-probability of ``matches`` over the entities of ``store``."""
+
+    def score_delta(self, store: EntityStore, base: Iterable[EntityPair],
+                    added: Iterable[EntityPair]) -> float:
+        """log P(base ∪ added) − log P(base).
+
+        The default computes two full scores; concrete matchers override this
+        with an incremental computation (the MLN matcher touches only the
+        groundings around ``added``).
+        """
+        base_set = frozenset(base)
+        combined = base_set | frozenset(added)
+        return self.log_score(store, combined) - self.log_score(store, base_set)
+
+    def accepts(self, store: EntityStore, base: Iterable[EntityPair],
+                added: Iterable[EntityPair]) -> bool:
+        """MMP step-7 test: does adding ``added`` not decrease the probability?"""
+        return self.score_delta(store, base, added) >= -1e-9

@@ -1,0 +1,55 @@
+"""Markov Logic Network substrate used by the MLN collective matcher."""
+
+from .database import EvidenceDatabase, database_from_store
+from .grounding import Grounder, GroundRule
+from .inference import (
+    GreedyCollectiveInference,
+    InferenceResult,
+    SCORE_TOLERANCE,
+    exhaustive_map,
+)
+from .learning import LearningReport, TrainingExample, VotedPerceptronLearner
+from .logic import (
+    Atom,
+    Constant,
+    PAPER_WEIGHTS,
+    QUERY_PREDICATE,
+    Rule,
+    RuleSet,
+    Variable,
+    atom,
+    const,
+    paper_author_rules,
+    section2_example_rules,
+    var,
+)
+from .model import MarkovLogicNetwork
+from .network import GroundNetwork
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "EvidenceDatabase",
+    "GreedyCollectiveInference",
+    "GroundNetwork",
+    "GroundRule",
+    "Grounder",
+    "InferenceResult",
+    "LearningReport",
+    "MarkovLogicNetwork",
+    "PAPER_WEIGHTS",
+    "QUERY_PREDICATE",
+    "Rule",
+    "RuleSet",
+    "SCORE_TOLERANCE",
+    "TrainingExample",
+    "Variable",
+    "VotedPerceptronLearner",
+    "atom",
+    "const",
+    "database_from_store",
+    "exhaustive_map",
+    "paper_author_rules",
+    "section2_example_rules",
+    "var",
+]

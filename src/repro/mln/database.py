@@ -1,0 +1,134 @@
+"""Evidence database: the ground facts a rule set is grounded against.
+
+The database holds, per evidence predicate, the set of ground tuples that are
+true (closed-world: everything not listed is false), plus the set of
+*candidate query pairs* — the entity pairs for which an ``equals`` ground atom
+exists at all.  Restricting the query atoms to candidate pairs is what keeps
+the ground network small (the paper's "1.3M matching decisions" are exactly
+the candidate pairs produced by the cover) and mirrors how practical MLN
+matchers are deployed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..datamodel import COAUTHOR, EntityPair, EntityStore
+
+GroundValue = Union[str, int]
+GroundTuple = Tuple[GroundValue, ...]
+
+
+class EvidenceDatabase:
+    """Ground evidence facts plus the candidate ``equals`` pairs."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[str, Set[GroundTuple]] = {}
+        # Per-predicate, per-position index: position -> value -> tuples.
+        self._index: Dict[str, Dict[int, Dict[GroundValue, Set[GroundTuple]]]] = {}
+        self._candidates: Set[EntityPair] = set()
+
+    # ----------------------------------------------------------------- facts
+    def add_fact(self, predicate: str, *values: GroundValue) -> None:
+        """Assert a ground evidence fact."""
+        tup = tuple(values)
+        facts = self._facts.setdefault(predicate, set())
+        if tup in facts:
+            return
+        facts.add(tup)
+        index = self._index.setdefault(predicate, {})
+        for position, value in enumerate(tup):
+            index.setdefault(position, {}).setdefault(value, set()).add(tup)
+
+    def facts(self, predicate: str) -> FrozenSet[GroundTuple]:
+        return frozenset(self._facts.get(predicate, frozenset()))
+
+    def holds(self, predicate: str, *values: GroundValue) -> bool:
+        return tuple(values) in self._facts.get(predicate, set())
+
+    def predicates(self) -> List[str]:
+        return sorted(self._facts)
+
+    def lookup(self, predicate: str,
+               bound: Dict[int, GroundValue]) -> FrozenSet[GroundTuple]:
+        """Tuples of ``predicate`` matching the partially-bound positions.
+
+        ``bound`` maps argument position → required value.  With no bound
+        positions every tuple is returned; with bound positions the smallest
+        per-position index is intersected, which keeps nested-loop joins fast.
+        """
+        all_facts = self._facts.get(predicate)
+        if not all_facts:
+            return frozenset()
+        if not bound:
+            return frozenset(all_facts)
+        candidate_sets: List[Set[GroundTuple]] = []
+        index = self._index.get(predicate, {})
+        for position, value in bound.items():
+            bucket = index.get(position, {}).get(value)
+            if not bucket:
+                return frozenset()
+            candidate_sets.append(bucket)
+        candidate_sets.sort(key=len)
+        result = set(candidate_sets[0])
+        for other in candidate_sets[1:]:
+            result &= other
+            if not result:
+                break
+        return frozenset(result)
+
+    # ------------------------------------------------------------ candidates
+    def add_candidate(self, pair: EntityPair) -> None:
+        """Register an entity pair as a possible match decision."""
+        self._candidates.add(pair)
+
+    def candidates(self) -> FrozenSet[EntityPair]:
+        return frozenset(self._candidates)
+
+    def is_candidate(self, pair: EntityPair) -> bool:
+        return pair in self._candidates
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, int]:
+        return {
+            "predicates": len(self._facts),
+            "facts": sum(len(f) for f in self._facts.values()),
+            "candidate_pairs": len(self._candidates),
+        }
+
+
+def database_from_store(store: EntityStore,
+                        coauthor_relation: str = COAUTHOR,
+                        extra_relations: Sequence[str] = (),
+                        include_levelless_similar: bool = True) -> EvidenceDatabase:
+    """Build an :class:`EvidenceDatabase` from an :class:`EntityStore`.
+
+    * Every similarity edge of the store with level ``s`` produces the facts
+      ``similar(a, b, s)`` and ``similar(b, a, s)`` (rules treat the predicate
+      as symmetric by grounding both orders), plus, when
+      ``include_levelless_similar`` is set, a level-free ``similar(a, b)``
+      fact used by the Section-2 example rules.
+    * The coauthor relation (and any ``extra_relations``) produce symmetric
+      binary facts under their relation name.
+    * Every similarity edge also registers its pair as a candidate match.
+    """
+    db = EvidenceDatabase()
+    for edge in store.similarity_edges():
+        a, b = edge.pair.first, edge.pair.second
+        db.add_fact("similar", a, b, edge.level)
+        db.add_fact("similar", b, a, edge.level)
+        if include_levelless_similar:
+            db.add_fact("similar", a, b)
+            db.add_fact("similar", b, a)
+        db.add_candidate(edge.pair)
+
+    relation_names = [coauthor_relation, *extra_relations]
+    for name in relation_names:
+        if not store.has_relation(name):
+            continue
+        relation = store.relation(name)
+        for tup in relation:
+            db.add_fact(name, *tup)
+            if relation.arity == 2:
+                db.add_fact(name, tup[1], tup[0])
+    return db

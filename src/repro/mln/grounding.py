@@ -1,0 +1,160 @@
+"""Grounding: instantiate first-order rules against an evidence database.
+
+A *grounding* of a rule binds every variable to an entity id (or constant)
+such that all *evidence* atoms in the body hold in the database.  What is left
+of the grounding is its query part:
+
+* ``head_pair`` — the ``equals`` pair the rule concludes,
+* ``body_pairs`` — the ``equals`` pairs the body still requires.
+
+Scoring follows the paper's exposition (Section 2.1): a ground rule
+*fires* — and contributes its weight — exactly when its remaining body pairs
+and its head pair are all in the current match set.  Reflexive ``equals``
+atoms (same entity on both sides) are always true and are dropped;
+groundings whose head or body requires a pair that is not a candidate match
+can never fire and are skipped.  Groundings that map to the same
+``(rule, head_pair, body_pairs)`` triple are de-duplicated, which matches the
+paper's arithmetic in the worked example (each supporting coauthor pair is
+counted once).
+
+This "fires" semantics is supermodular and monotone because all the mass a
+match set can gain or lose by adding one more pair comes from groundings in
+which that pair participates positively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..datamodel import EntityPair
+from ..exceptions import InferenceError
+from .database import EvidenceDatabase, GroundTuple, GroundValue
+from .logic import Atom, Constant, Rule, RuleSet, Variable
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A grounded rule: fires when ``body_pairs ⊆ M`` and ``head_pair ∈ M``."""
+
+    rule_name: str
+    weight: float
+    head_pair: EntityPair
+    body_pairs: FrozenSet[EntityPair]
+
+    def fires(self, matches: FrozenSet[EntityPair]) -> bool:
+        """Whether the grounding contributes its weight under match set ``matches``."""
+        return self.head_pair in matches and self.body_pairs <= matches
+
+    def pairs(self) -> FrozenSet[EntityPair]:
+        """All query pairs this grounding depends on."""
+        return self.body_pairs | {self.head_pair}
+
+
+class Grounder:
+    """Grounds a :class:`RuleSet` against an :class:`EvidenceDatabase`."""
+
+    def __init__(self, rules: RuleSet):
+        self.rules = rules
+
+    # ------------------------------------------------------------- bindings
+    @staticmethod
+    def _extend_bindings(bindings: List[Dict[Variable, GroundValue]],
+                         atom_: Atom,
+                         database: EvidenceDatabase) -> List[Dict[Variable, GroundValue]]:
+        """Join one evidence atom into the current set of partial bindings."""
+        extended: List[Dict[Variable, GroundValue]] = []
+        arity = len(atom_.terms)
+        for binding in bindings:
+            bound_positions: Dict[int, GroundValue] = {}
+            for position, term in enumerate(atom_.terms):
+                if isinstance(term, Constant):
+                    bound_positions[position] = term.value
+                elif term in binding:
+                    bound_positions[position] = binding[term]
+            for fact in database.lookup(atom_.predicate, bound_positions):
+                if len(fact) != arity:
+                    continue
+                new_binding = dict(binding)
+                consistent = True
+                for position, term in enumerate(atom_.terms):
+                    value = fact[position]
+                    if isinstance(term, Constant):
+                        if term.value != value:
+                            consistent = False
+                            break
+                    else:
+                        existing = new_binding.get(term)
+                        if existing is None:
+                            new_binding[term] = value
+                        elif existing != value:
+                            consistent = False
+                            break
+                if consistent:
+                    extended.append(new_binding)
+        return extended
+
+    @staticmethod
+    def _query_pair(atom_: Atom, binding: Dict[Variable, GroundValue]) -> Optional[EntityPair]:
+        """Ground a query atom to an :class:`EntityPair`, or ``None`` when reflexive."""
+        values = atom_.substitute(binding)
+        if len(values) != 2:
+            raise InferenceError(
+                f"query atom {atom_!r} must be binary, got arity {len(values)}"
+            )
+        first, second = str(values[0]), str(values[1])
+        if first == second:
+            return None
+        return EntityPair.of(first, second)
+
+    # ------------------------------------------------------------- grounding
+    def ground_rule(self, rule: Rule, database: EvidenceDatabase) -> List[GroundRule]:
+        """All groundings of ``rule`` that can possibly fire."""
+        bindings: List[Dict[Variable, GroundValue]] = [{}]
+        for evidence_atom in rule.evidence_atoms():
+            bindings = self._extend_bindings(bindings, evidence_atom, database)
+            if not bindings:
+                return []
+
+        groundings: List[GroundRule] = []
+        seen: Set[Tuple[EntityPair, FrozenSet[EntityPair]]] = set()
+        for binding in bindings:
+            head_pair = self._query_pair(rule.head, binding)
+            if head_pair is None:
+                # Reflexive head: always satisfied, constant contribution.
+                continue
+            if not database.is_candidate(head_pair):
+                # The head can never be matched: the grounding can never fire.
+                continue
+            body_pairs: Set[EntityPair] = set()
+            possible = True
+            for query_atom in rule.query_atoms():
+                pair = self._query_pair(query_atom, binding)
+                if pair is None:
+                    continue  # reflexive equals in the body is always true
+                if not database.is_candidate(pair):
+                    possible = False
+                    break
+                if pair == head_pair:
+                    continue  # trivially satisfied together with the head
+                body_pairs.add(pair)
+            if not possible:
+                continue
+            key = (head_pair, frozenset(body_pairs))
+            if key in seen:
+                continue
+            seen.add(key)
+            groundings.append(GroundRule(
+                rule_name=rule.name,
+                weight=rule.weight,
+                head_pair=head_pair,
+                body_pairs=frozenset(body_pairs),
+            ))
+        return groundings
+
+    def ground(self, database: EvidenceDatabase) -> List[GroundRule]:
+        """Ground every rule of the rule set."""
+        groundings: List[GroundRule] = []
+        for rule in self.rules:
+            groundings.extend(self.ground_rule(rule, database))
+        return groundings

@@ -1,0 +1,191 @@
+"""MAP inference over a ground network.
+
+The MAP (maximum a-posteriori) state of the ground network is the match set
+with the highest score.  Two inference procedures are provided:
+
+* :class:`GreedyCollectiveInference` — the production procedure.  It combines
+  greedy single-pair moves with *collective chain moves*: a pair whose own
+  delta is non-positive is tentatively added, the positive-delta pairs it
+  entails are pulled in, and the whole group is accepted only when its joint
+  delta is positive.  This reproduces the collective behaviour of Section 2.1
+  (the (a1,a2), (b2,b3), (c2,c3) chain is only worth matching as a whole) and,
+  because the network is supermodular, never *removes* pairs — which keeps the
+  resulting matcher monotone.
+* :func:`exhaustive_map` — brute force over all subsets, only usable for tiny
+  candidate sets; tests use it as the reference the greedy procedure is
+  compared against.
+
+Both respect evidence: pairs in ``fixed_true`` are clamped in, pairs in
+``fixed_false`` are clamped out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datamodel import EntityPair
+from ..exceptions import InferenceError
+from .network import GroundNetwork
+
+#: Numerical tolerance when comparing score deltas to zero.
+SCORE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Output of a MAP inference run."""
+
+    matches: FrozenSet[EntityPair]
+    score: float
+    iterations: int
+
+
+class GreedyCollectiveInference:
+    """Greedy + collective-chain MAP search.
+
+    Parameters
+    ----------
+    max_iterations:
+        Safety bound on the number of outer passes; the search normally
+        converges long before this.
+    enable_group_moves:
+        When disabled only single-pair greedy moves are made — this is the
+        behaviour of a purely iterative matcher and is exposed so the effect
+        of collective moves can be measured (ablation benches).
+    accept_zero_gain_groups:
+        When enabled a group whose joint delta is exactly zero is still
+        accepted, implementing the Type-II tie-break "prefer the largest most
+        likely set".  Disabled by default: strict improvement keeps the MAP
+        state unique on generic weights.
+    """
+
+    def __init__(self, max_iterations: int = 1000, enable_group_moves: bool = True,
+                 accept_zero_gain_groups: bool = False):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+        self.enable_group_moves = enable_group_moves
+        self.accept_zero_gain_groups = accept_zero_gain_groups
+
+    # ------------------------------------------------------------------ api
+    def infer(self, network: GroundNetwork,
+              fixed_true: Iterable[EntityPair] = (),
+              fixed_false: Iterable[EntityPair] = ()) -> InferenceResult:
+        """Return (an approximation of) the MAP match set of ``network``."""
+        clamped_true = frozenset(fixed_true)
+        clamped_false = frozenset(fixed_false) - clamped_true
+        world: Set[EntityPair] = set(clamped_true)
+        free_candidates = [
+            pair for pair in sorted(network.candidates)
+            if pair not in world and pair not in clamped_false
+        ]
+
+        iterations = 0
+        changed = True
+        while changed and iterations < self.max_iterations:
+            iterations += 1
+            changed = self._greedy_pass(network, world, free_candidates)
+            if self.enable_group_moves:
+                group_changed = self._group_pass(network, world, free_candidates)
+                changed = changed or group_changed
+
+        matched = frozenset(world)
+        return InferenceResult(matches=matched, score=network.score(matched),
+                               iterations=iterations)
+
+    # -------------------------------------------------------------- internal
+    def _greedy_pass(self, network: GroundNetwork, world: Set[EntityPair],
+                     free_candidates: List[EntityPair]) -> bool:
+        """Add every single pair with a strictly positive delta; loop to fixpoint."""
+        changed_any = False
+        progress = True
+        while progress:
+            progress = False
+            for pair in free_candidates:
+                if pair in world:
+                    continue
+                if network.delta_single(pair, world) > SCORE_TOLERANCE:
+                    world.add(pair)
+                    progress = True
+                    changed_any = True
+        return changed_any
+
+    def _group_pass(self, network: GroundNetwork, world: Set[EntityPair],
+                    free_candidates: List[EntityPair]) -> bool:
+        """Try collective chain moves seeded at each unmatched pair."""
+        changed_any = False
+        for seed in free_candidates:
+            if seed in world:
+                continue
+            group = self._expand_group(network, world, free_candidates, seed)
+            joint_delta = network.delta(group, world)
+            accept = joint_delta > SCORE_TOLERANCE or (
+                self.accept_zero_gain_groups and joint_delta >= -SCORE_TOLERANCE
+            )
+            if accept:
+                world.update(group)
+                changed_any = True
+        return changed_any
+
+    @staticmethod
+    def _expand_group(network: GroundNetwork, world: Set[EntityPair],
+                      free_candidates: Sequence[EntityPair],
+                      seed: EntityPair) -> Set[EntityPair]:
+        """Grow a tentative group from ``seed`` by pulling in entailed pairs.
+
+        A pair is entailed when, with the current world plus the tentative
+        group assumed matched, its own delta becomes strictly positive.
+        Because the network is supermodular this expansion is monotone and
+        terminates once no further pair is entailed.
+        """
+        group: Set[EntityPair] = {seed}
+        progress = True
+        while progress:
+            progress = False
+            hypothetical = world | group
+            for pair in free_candidates:
+                if pair in hypothetical:
+                    continue
+                if network.delta_single(pair, hypothetical) > SCORE_TOLERANCE:
+                    group.add(pair)
+                    progress = True
+        return group
+
+
+def exhaustive_map(network: GroundNetwork,
+                   fixed_true: Iterable[EntityPair] = (),
+                   fixed_false: Iterable[EntityPair] = (),
+                   max_candidates: int = 18,
+                   prefer_larger: bool = True) -> InferenceResult:
+    """Brute-force MAP over all subsets of the free candidate pairs.
+
+    Only feasible for tiny candidate sets (≤ ``max_candidates`` free pairs);
+    raises :class:`InferenceError` beyond that.  ``prefer_larger`` implements
+    the Type-II tie-break: among equal-score sets the largest is returned.
+    """
+    clamped_true = frozenset(fixed_true)
+    clamped_false = frozenset(fixed_false) - clamped_true
+    free = [pair for pair in sorted(network.candidates)
+            if pair not in clamped_true and pair not in clamped_false]
+    if len(free) > max_candidates:
+        raise InferenceError(
+            f"exhaustive_map limited to {max_candidates} free candidates, got {len(free)}"
+        )
+    best_set: FrozenSet[EntityPair] = frozenset(clamped_true)
+    best_score = network.score(best_set)
+    for size in range(len(free) + 1):
+        for chosen in combinations(free, size):
+            world = frozenset(clamped_true) | frozenset(chosen)
+            score = network.score(world)
+            better = score > best_score + SCORE_TOLERANCE
+            tie_and_larger = (
+                prefer_larger
+                and abs(score - best_score) <= SCORE_TOLERANCE
+                and len(world) > len(best_set)
+            )
+            if better or tie_and_larger:
+                best_score = score
+                best_set = world
+    return InferenceResult(matches=best_set, score=best_score, iterations=1)

@@ -1,0 +1,109 @@
+"""Weight learning for the MLN matcher.
+
+The paper uses Alchemy to learn the rule weights from labelled training data
+(Appendix B reports the learnt values).  This module provides a compact
+replacement: a *voted structured perceptron*.  In each epoch the current MAP
+state is computed on a training neighborhood and the weight of every rule is
+nudged by the difference between the number of its groundings that fire under
+the ground truth and the number that fire under the prediction.  Averaging the
+per-epoch weights (the "voted" part) stabilises the estimate.
+
+The learner is deliberately simple — the reproduction experiments default to
+the paper's published weights — but it closes the loop for users who bring
+their own rules and labelled data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..datamodel import EntityPair, EntityStore, MatchSet
+from .inference import GreedyCollectiveInference
+from .logic import RuleSet
+from .model import MarkovLogicNetwork
+from .network import GroundNetwork
+
+
+@dataclass
+class TrainingExample:
+    """One labelled training instance: a (small) entity store and its true matches."""
+
+    store: EntityStore
+    true_matches: FrozenSet[EntityPair]
+
+    @classmethod
+    def from_match_set(cls, store: EntityStore, matches: MatchSet) -> "TrainingExample":
+        return cls(store=store, true_matches=frozenset(matches.pairs))
+
+
+@dataclass
+class LearningReport:
+    """Diagnostics produced by a learning run."""
+
+    epochs: int
+    weight_history: List[Dict[str, float]] = field(default_factory=list)
+    training_errors: List[int] = field(default_factory=list)
+
+    @property
+    def final_weights(self) -> Dict[str, float]:
+        return self.weight_history[-1] if self.weight_history else {}
+
+
+def _fired_counts(network: GroundNetwork, matches: FrozenSet[EntityPair]) -> Dict[str, int]:
+    """Number of fired groundings per rule name under ``matches``."""
+    counts: Dict[str, int] = {}
+    for grounding in network.fired(matches):
+        counts[grounding.rule_name] = counts.get(grounding.rule_name, 0) + 1
+    return counts
+
+
+class VotedPerceptronLearner:
+    """Structured perceptron with weight averaging."""
+
+    def __init__(self, learning_rate: float = 0.1, epochs: int = 10,
+                 inference: Optional[GreedyCollectiveInference] = None):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.inference = inference if inference is not None else GreedyCollectiveInference()
+
+    def learn(self, rules: RuleSet, examples: Sequence[TrainingExample],
+              initial_weights: Optional[Dict[str, float]] = None
+              ) -> Tuple[Dict[str, float], LearningReport]:
+        """Learn weights for ``rules`` from labelled ``examples``.
+
+        Returns the averaged weights and a :class:`LearningReport`.
+        """
+        if not examples:
+            raise ValueError("at least one training example is required")
+        weights: Dict[str, float] = dict(initial_weights or rules.weights())
+        accumulated: Dict[str, float] = {name: 0.0 for name in weights}
+        report = LearningReport(epochs=self.epochs)
+
+        # Ground each training store once per epoch with the current weights.
+        for _ in range(self.epochs):
+            epoch_errors = 0
+            for example in examples:
+                mln = MarkovLogicNetwork(rules=rules.with_weights(weights),
+                                         inference=self.inference)
+                network = mln.ground(example.store)
+                predicted = self.inference.infer(network).matches
+                truth = example.true_matches & network.candidates
+                if predicted != truth:
+                    epoch_errors += len(predicted.symmetric_difference(truth))
+                    true_counts = _fired_counts(network, frozenset(truth))
+                    predicted_counts = _fired_counts(network, predicted)
+                    for name in weights:
+                        gradient = true_counts.get(name, 0) - predicted_counts.get(name, 0)
+                        weights[name] += self.learning_rate * gradient
+            for name, value in weights.items():
+                accumulated[name] += value
+            report.weight_history.append(dict(weights))
+            report.training_errors.append(epoch_errors)
+
+        averaged = {name: value / self.epochs for name, value in accumulated.items()}
+        return averaged, report

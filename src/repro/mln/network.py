@@ -1,0 +1,123 @@
+"""Ground network: scoring worlds and computing incremental deltas.
+
+A :class:`GroundNetwork` holds the ground rules produced by the
+:class:`~repro.mln.grounding.Grounder` together with per-pair indexes so that
+the score change caused by adding one pair (or a group of pairs) to a match
+set can be computed by touching only the groundings that mention those pairs.
+This is the property the paper relies on for MMP step 7: "computing PE(S) for
+a specific S is very cheap using the parameters of the model".
+
+The *score* of a match set M is the total weight of the ground rules that fire
+under M; the corresponding (unnormalised) probability is ``exp(score)``, so
+score comparisons are probability comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datamodel import EntityPair
+from .grounding import GroundRule
+
+
+class GroundNetwork:
+    """An indexed collection of ground rules over a set of candidate pairs."""
+
+    def __init__(self, groundings: Iterable[GroundRule],
+                 candidates: Iterable[EntityPair]):
+        self._groundings: List[GroundRule] = list(groundings)
+        self._candidates: FrozenSet[EntityPair] = frozenset(candidates)
+        # pair -> indexes of groundings in which the pair participates.
+        self._touching: Dict[EntityPair, List[int]] = {}
+        for index, grounding in enumerate(self._groundings):
+            for pair in grounding.pairs():
+                self._touching.setdefault(pair, []).append(index)
+
+    # ---------------------------------------------------------------- access
+    @property
+    def candidates(self) -> FrozenSet[EntityPair]:
+        """Pairs over which a match decision exists."""
+        return self._candidates
+
+    @property
+    def groundings(self) -> Sequence[GroundRule]:
+        return tuple(self._groundings)
+
+    def groundings_touching(self, pair: EntityPair) -> List[GroundRule]:
+        return [self._groundings[i] for i in self._touching.get(pair, ())]
+
+    def size(self) -> Dict[str, int]:
+        return {"groundings": len(self._groundings), "candidates": len(self._candidates)}
+
+    # --------------------------------------------------------------- scoring
+    def score(self, matches: Iterable[EntityPair]) -> float:
+        """Total weight of the groundings that fire under ``matches``."""
+        world = frozenset(matches)
+        return sum(g.weight for g in self._groundings if g.fires(world))
+
+    def log_probability(self, matches: Iterable[EntityPair]) -> float:
+        """Unnormalised log-probability of ``matches`` (identical to :meth:`score`).
+
+        The normalisation constant is shared by every match set over the same
+        entities, so comparisons of log-probabilities reduce to comparisons of
+        scores — which is all the framework ever needs.
+        """
+        return self.score(matches)
+
+    def delta(self, added: Iterable[EntityPair], matches: Iterable[EntityPair]) -> float:
+        """Score change from adding ``added`` to ``matches``.
+
+        Only groundings touching one of the added pairs can change state, so
+        the computation is local.  Pairs already in ``matches`` contribute
+        nothing.
+        """
+        base = frozenset(matches)
+        additions = frozenset(added) - base
+        if not additions:
+            return 0.0
+        extended = base | additions
+        touched_indexes: Set[int] = set()
+        for pair in additions:
+            touched_indexes.update(self._touching.get(pair, ()))
+        change = 0.0
+        for index in touched_indexes:
+            grounding = self._groundings[index]
+            fired_before = grounding.fires(base)
+            fired_after = grounding.fires(extended)
+            if fired_after and not fired_before:
+                change += grounding.weight
+            elif fired_before and not fired_after:  # pragma: no cover - cannot happen for additions
+                change -= grounding.weight
+        return change
+
+    def delta_single(self, pair: EntityPair, matches: Iterable[EntityPair]) -> float:
+        """Score change from adding a single pair."""
+        return self.delta((pair,), matches)
+
+    def fired(self, matches: Iterable[EntityPair]) -> List[GroundRule]:
+        """The groundings that fire under ``matches`` (useful for explanations)."""
+        world = frozenset(matches)
+        return [g for g in self._groundings if g.fires(world)]
+
+    def explain(self, matches: Iterable[EntityPair]) -> Dict[str, float]:
+        """Total fired weight per rule name — a human-readable score breakdown."""
+        breakdown: Dict[str, float] = {}
+        for grounding in self.fired(matches):
+            breakdown[grounding.rule_name] = breakdown.get(grounding.rule_name, 0.0) + grounding.weight
+        return breakdown
+
+    # ------------------------------------------------------------- structure
+    def support_graph(self) -> Dict[EntityPair, Set[EntityPair]]:
+        """Undirected graph connecting pairs that co-occur in some grounding.
+
+        Used by tests and by the maximal-message diagnostics: pairs in
+        different connected components can never influence each other.
+        """
+        graph: Dict[EntityPair, Set[EntityPair]] = {pair: set() for pair in self._candidates}
+        for grounding in self._groundings:
+            pairs = sorted(grounding.pairs())
+            for i, first in enumerate(pairs):
+                for second in pairs[i + 1:]:
+                    graph.setdefault(first, set()).add(second)
+                    graph.setdefault(second, set()).add(first)
+        return graph

@@ -1,0 +1,17 @@
+"""Parallel (grid) execution of the framework (Section 6.3)."""
+
+from .executor import SerialExecutor, ThreadedExecutor
+from .grid import GridExecutor, GridRunResult
+from .partitioner import lpt_partition, makespan, random_partition, skew, total_work
+
+__all__ = [
+    "GridExecutor",
+    "GridRunResult",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "lpt_partition",
+    "makespan",
+    "random_partition",
+    "skew",
+    "total_work",
+]

@@ -1,0 +1,50 @@
+"""Local executors for the map phase of a round.
+
+The grid simulation in :mod:`repro.parallel.grid` performs the actual matcher
+computation locally.  By default it runs tasks serially; these executors let
+the map phase of a round be dispatched to a thread pool instead, which is
+useful when the black-box matcher releases the GIL (e.g. a matcher shelling
+out to an external process) and harmless otherwise.
+
+The executors work on generic ``(name, callable)`` tasks so they can also be
+used directly by applications that want to parallelise their own
+per-neighborhood work.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+ResultT = TypeVar("ResultT")
+NamedTask = Tuple[str, Callable[[], ResultT]]
+
+
+class SerialExecutor:
+    """Runs tasks one after another (the default, and fully deterministic)."""
+
+    def map_tasks(self, tasks: Sequence[NamedTask]) -> Dict[str, ResultT]:
+        """Execute all tasks and return their results keyed by task name."""
+        return {name: task() for name, task in tasks}
+
+
+class ThreadedExecutor:
+    """Runs tasks in a thread pool of ``workers`` threads.
+
+    Results are collected into a dict keyed by task name; exceptions raised by
+    a task propagate to the caller (the first one encountered), matching the
+    behaviour of the serial executor.
+    """
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def map_tasks(self, tasks: Sequence[NamedTask]) -> Dict[str, ResultT]:
+        results: Dict[str, ResultT] = {}
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(task): name for name, task in tasks}
+            for future in concurrent.futures.as_completed(futures):
+                results[futures[future]] = future.result()
+        return results

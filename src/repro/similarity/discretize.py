@@ -1,0 +1,64 @@
+"""Discretisation of similarity scores to the paper's {1, 2, 3} levels.
+
+Appendix B: "The similarity scores between two authors was computed using the
+JaroWinkler distance, and was discretized to the set {1, 2, 3} with 3 being
+the highest possible similarity."  The thresholds below are the library
+defaults; they are configurable per matcher and per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SimilarityLevels:
+    """Thresholds mapping a raw score in [0, 1] to a level in {0, 1, 2, 3}.
+
+    * score >= ``high``   → level 3 (near-identical rendered names: the MLN
+      weights match these on name evidence alone),
+    * score >= ``medium`` → level 2 (ambiguous; the paper's learnt weights
+      require two corroborating matched-coauthor pairs),
+    * score >= ``low``    → level 1 (weak but plausible, e.g. an initial
+      against a full first name; one matched-coauthor pair suffices),
+    * otherwise           → level 0 (not a candidate pair at all).
+
+    The default thresholds are calibrated against
+    :class:`repro.similarity.name_similarity.AuthorNameSimilarity` so that the
+    level semantics above line up with the Appendix-B rule weights.
+    """
+
+    low: float = 0.865
+    medium: float = 0.89
+    high: float = 0.955
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.medium <= self.high <= 1.0:
+            raise ValueError(
+                f"thresholds must satisfy 0 <= low <= medium <= high <= 1, got "
+                f"low={self.low}, medium={self.medium}, high={self.high}"
+            )
+
+    def level(self, score: float) -> int:
+        """Discretise ``score`` to a level in {0, 1, 2, 3}."""
+        if score >= self.high:
+            return 3
+        if score >= self.medium:
+            return 2
+        if score >= self.low:
+            return 1
+        return 0
+
+    def is_candidate(self, score: float) -> bool:
+        """Whether the score is high enough for the pair to be a candidate."""
+        return score >= self.low
+
+
+#: Default thresholds used throughout the library and the experiments.
+DEFAULT_LEVELS = SimilarityLevels()
+
+
+def discretize(score: float, levels: Optional[SimilarityLevels] = None) -> int:
+    """Module-level convenience wrapper around :meth:`SimilarityLevels.level`."""
+    return (levels or DEFAULT_LEVELS).level(score)

@@ -1,0 +1,50 @@
+"""Set-overlap similarity measures (Jaccard, overlap coefficient, Dice)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .ngram import character_ngrams, word_tokens
+
+
+def jaccard(a: Iterable, b: Iterable) -> float:
+    """Jaccard coefficient |A ∩ B| / |A ∪ B| over two iterables (treated as sets)."""
+    set_a: Set = set(a)
+    set_b: Set = set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def overlap_coefficient(a: Iterable, b: Iterable) -> float:
+    """Overlap coefficient |A ∩ B| / min(|A|, |B|)."""
+    set_a: Set = set(a)
+    set_b: Set = set(b)
+    if not set_a or not set_b:
+        return 1.0 if not set_a and not set_b else 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def dice_coefficient(a: Iterable, b: Iterable) -> float:
+    """Dice coefficient 2|A ∩ B| / (|A| + |B|)."""
+    set_a: Set = set(a)
+    set_b: Set = set(b)
+    if not set_a and not set_b:
+        return 1.0
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 1.0
+    return 2.0 * len(set_a & set_b) / total
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard over lower-cased word tokens — useful for titles."""
+    return jaccard(word_tokens(a), word_tokens(b))
+
+
+def ngram_jaccard(a: str, b: str, n: int = 3) -> float:
+    """Jaccard over character n-gram sets — robust to word order and typos."""
+    return jaccard(character_ngrams(a, n=n), character_ngrams(b, n=n))

@@ -1,0 +1,80 @@
+"""Edit-distance based string similarity.
+
+Classic dynamic-programming Levenshtein distance plus the Damerau variant
+(adjacent transpositions), and normalised similarity versions in [0, 1].
+These are the workhorse measures for attribute comparison in non-relational
+entity matchers (Appendix D of the paper) and are used by the dataset noise
+model to calibrate how much mutation is injected.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of single-character insertions, deletions and substitutions."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, char_b in enumerate(b, start=1):
+        current = [j] + [0] * len(a)
+        for i, char_a in enumerate(a, start=1):
+            substitution_cost = 0 if char_a == char_b else 1
+            current[i] = min(
+                previous[i] + 1,            # deletion
+                current[i - 1] + 1,         # insertion
+                previous[i - 1] + substitution_cost,
+            )
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Levenshtein distance that also counts adjacent transpositions as one edit."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    rows = len(a) + 1
+    cols = len(b) + 1
+    dist: List[List[int]] = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        dist[i][0] = i
+    for j in range(cols):
+        dist[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if i > 1 and j > 1 and a[i - 1] == b[j - 2] and a[i - 2] == b[j - 1]:
+                dist[i][j] = min(dist[i][j], dist[i - 2][j - 2] + 1)
+    return dist[-1][-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalised Levenshtein similarity: ``1 - distance / max(len)`` in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def damerau_levenshtein_similarity(a: str, b: str) -> float:
+    """Normalised Damerau-Levenshtein similarity in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - damerau_levenshtein_distance(a, b) / longest

@@ -1,0 +1,73 @@
+"""Phonetic encodings (Soundex and a simplified Metaphone).
+
+Phonetic keys are a classic blocking criterion for person names: two spellings
+of the same surname often share a phonetic code even when their edit distance
+is large.  The blocking package exposes these as blocking-key functions.
+"""
+
+from __future__ import annotations
+
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+
+def soundex(name: str, length: int = 4) -> str:
+    """American Soundex code of ``name`` (default 4 characters, zero padded)."""
+    cleaned = [c for c in name.lower() if c.isalpha()]
+    if not cleaned:
+        return "0" * length
+    first = cleaned[0]
+    encoded = [first.upper()]
+    previous_code = _SOUNDEX_CODES.get(first, "")
+    for char in cleaned[1:]:
+        code = _SOUNDEX_CODES.get(char, "")
+        if char in "hw":
+            # h and w do not break runs of the same code.
+            continue
+        if code and code != previous_code:
+            encoded.append(code)
+        previous_code = code
+        if len(encoded) >= length:
+            break
+    return "".join(encoded).ljust(length, "0")[:length]
+
+
+def metaphone_key(name: str, length: int = 6) -> str:
+    """A simplified Metaphone-style key.
+
+    This is not the full Metaphone algorithm; it applies the most impactful
+    rules (drop vowels except a leading one, collapse doubled letters, map the
+    common digraphs) which is sufficient as an alternative blocking key.
+    """
+    text = "".join(c for c in name.lower() if c.isalpha())
+    if not text:
+        return ""
+    # Digraph replacements applied before the per-character pass.
+    for digraph, replacement in (("ph", "f"), ("gh", "g"), ("kn", "n"), ("wr", "r"),
+                                 ("ck", "k"), ("sch", "sk"), ("th", "0"), ("sh", "x"),
+                                 ("ch", "x")):
+        text = text.replace(digraph, replacement)
+    key_chars = []
+    previous = ""
+    for index, char in enumerate(text):
+        if char == previous:
+            continue
+        if char in "aeiou":
+            if index == 0:
+                key_chars.append(char)
+        else:
+            key_chars.append(char)
+        previous = char
+    return "".join(key_chars)[:length].upper()
+
+
+def phonetic_equal(a: str, b: str) -> bool:
+    """Whether two names share a Soundex code."""
+    return soundex(a) == soundex(b)

@@ -1,0 +1,56 @@
+"""Registry of string similarity functions.
+
+Gives every measure in the package a stable name so experiment configurations
+and command-line examples can refer to measures by string
+(``"jaro_winkler"``, ``"levenshtein"``, ...) instead of importing functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from .jaccard import dice_coefficient, jaccard, ngram_jaccard, overlap_coefficient, token_jaccard
+from .jaro import jaro_similarity, jaro_winkler_similarity
+from .levenshtein import damerau_levenshtein_similarity, levenshtein_similarity
+from .ngram import ngram_similarity
+
+SimilarityFunction = Callable[[str, str], float]
+
+_REGISTRY: Dict[str, SimilarityFunction] = {}
+
+
+def register(name: str, function: SimilarityFunction, overwrite: bool = False) -> None:
+    """Register a similarity function under ``name``."""
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"similarity function {name!r} is already registered")
+    _REGISTRY[name] = function
+
+
+def get(name: str) -> SimilarityFunction:
+    """Look up a registered similarity function by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown similarity function {name!r}; known: {known}") from None
+
+
+def available() -> List[str]:
+    """Names of all registered similarity functions."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    register("jaro", jaro_similarity)
+    register("jaro_winkler", jaro_winkler_similarity)
+    register("levenshtein", levenshtein_similarity)
+    register("damerau_levenshtein", damerau_levenshtein_similarity)
+    register("ngram", ngram_similarity)
+    register("token_jaccard", token_jaccard)
+    register("ngram_jaccard", ngram_jaccard)
+    register("jaccard", lambda a, b: jaccard(a.split(), b.split()))
+    register("dice", lambda a, b: dice_coefficient(a.split(), b.split()))
+    register("overlap", lambda a, b: overlap_coefficient(a.split(), b.split()))
+
+
+_register_builtins()

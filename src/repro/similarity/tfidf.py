@@ -1,0 +1,92 @@
+"""TF-IDF cosine similarity over a small corpus of strings.
+
+Canopy clustering (McCallum et al., the cover builder the paper uses) is
+classically driven by a *cheap* similarity such as TF-IDF cosine over tokens
+or n-grams.  This module provides a tiny vectoriser + cosine implementation
+that the canopy builder can use without any external dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from .ngram import character_ngrams, word_tokens
+
+
+Tokenizer = Callable[[str], List[str]]
+
+
+def default_tokenizer(text: str) -> List[str]:
+    """Word tokens plus character trigrams — a good default for person names."""
+    return word_tokens(text) + character_ngrams(text.lower(), n=3, pad=False)
+
+
+class TfIdfVectorizer:
+    """Fit IDF weights on a corpus and produce sparse TF-IDF vectors.
+
+    The vectoriser is deliberately minimal: a dict-based sparse representation
+    is plenty for canopy construction over names, and keeps the library free
+    of hard numpy requirements on this path.
+    """
+
+    def __init__(self, tokenizer: Tokenizer = default_tokenizer):
+        self._tokenizer = tokenizer
+        self._idf: Dict[str, float] = {}
+        self._fitted = False
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._idf)
+
+    def fit(self, corpus: Iterable[str]) -> "TfIdfVectorizer":
+        """Compute smoothed IDF weights from ``corpus``."""
+        document_frequency: Counter = Counter()
+        documents = 0
+        for text in corpus:
+            documents += 1
+            document_frequency.update(set(self._tokenizer(text)))
+        self._idf = {
+            token: math.log((1 + documents) / (1 + freq)) + 1.0
+            for token, freq in document_frequency.items()
+        }
+        self._fitted = True
+        return self
+
+    def transform(self, text: str) -> Dict[str, float]:
+        """L2-normalised sparse TF-IDF vector for ``text``."""
+        if not self._fitted:
+            raise RuntimeError("TfIdfVectorizer.transform called before fit")
+        counts = Counter(self._tokenizer(text))
+        vector = {
+            token: count * self._idf.get(token, 0.0)
+            for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+        if norm == 0.0:
+            return {}
+        return {token: weight / norm for token, weight in vector.items()}
+
+    def fit_transform(self, corpus: Sequence[str]) -> List[Dict[str, float]]:
+        self.fit(corpus)
+        return [self.transform(text) for text in corpus]
+
+
+def cosine_similarity(vector_a: Mapping[str, float], vector_b: Mapping[str, float]) -> float:
+    """Cosine similarity of two sparse vectors (assumed L2-normalised)."""
+    if len(vector_a) > len(vector_b):
+        vector_a, vector_b = vector_b, vector_a
+    return sum(weight * vector_b.get(token, 0.0) for token, weight in vector_a.items())
+
+
+def tfidf_cosine(a: str, b: str, corpus: Iterable[str] = (),
+                 tokenizer: Tokenizer = default_tokenizer) -> float:
+    """One-shot TF-IDF cosine between two strings.
+
+    When ``corpus`` is empty the two strings themselves form the corpus; for
+    repeated comparisons prefer building a :class:`TfIdfVectorizer` once.
+    """
+    corpus_list = list(corpus) or [a, b]
+    vectorizer = TfIdfVectorizer(tokenizer).fit(corpus_list)
+    return cosine_similarity(vectorizer.transform(a), vectorizer.transform(b))

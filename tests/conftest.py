@@ -1,0 +1,39 @@
+"""Shared pytest fixtures.
+
+Dataset fixtures are session-scoped: generating even the tiny presets takes a
+noticeable fraction of a second and the datasets are immutable, so every test
+module shares one instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import CanopyBlocker, build_total_cover
+from repro.datasets import dblp_tiny, hepth_tiny
+
+
+@pytest.fixture(scope="session")
+def hepth_dataset():
+    """A tiny HEPTH-like dataset (abbreviated names, multi-source)."""
+    return hepth_tiny()
+
+
+@pytest.fixture(scope="session")
+def dblp_dataset():
+    """A tiny DBLP-like dataset (full names with mutations)."""
+    return dblp_tiny()
+
+
+@pytest.fixture(scope="session")
+def hepth_cover(hepth_dataset):
+    """Canopy + coauthor-boundary total cover of the tiny HEPTH dataset."""
+    return build_total_cover(CanopyBlocker(), hepth_dataset.store,
+                             relation_names=["coauthor"])
+
+
+@pytest.fixture(scope="session")
+def dblp_cover(dblp_dataset):
+    """Canopy + coauthor-boundary total cover of the tiny DBLP dataset."""
+    return build_total_cover(CanopyBlocker(), dblp_dataset.store,
+                             relation_names=["coauthor"])

@@ -1,0 +1,91 @@
+"""Tests for the blocking-quality metrics (pair completeness, reduction ratio)."""
+
+import pytest
+
+from repro.blocking import Cover, Neighborhood
+from repro.datamodel import EntityPair
+from repro.evaluation import (
+    covered_pairs,
+    evaluate_cover,
+    pair_completeness,
+    reduction_ratio,
+)
+
+
+def pair(a, b):
+    return EntityPair.of(a, b)
+
+
+def small_cover():
+    return Cover([
+        Neighborhood("n1", frozenset({"a", "b", "c"})),
+        Neighborhood("n2", frozenset({"c", "d"})),
+        Neighborhood("n3", frozenset({"e"})),
+    ])
+
+
+class TestCoveredPairs:
+    def test_detects_colocated_pairs(self):
+        cover = small_cover()
+        truth = {pair("a", "b"), pair("c", "d"), pair("a", "d"), pair("a", "e")}
+        covered = covered_pairs(cover, truth)
+        assert covered == {pair("a", "b"), pair("c", "d")}
+
+    def test_empty_truth(self):
+        assert covered_pairs(small_cover(), []) == frozenset()
+
+
+class TestPairCompleteness:
+    def test_fraction(self):
+        cover = small_cover()
+        truth = {pair("a", "b"), pair("a", "d")}
+        assert pair_completeness(cover, truth) == pytest.approx(0.5)
+
+    def test_empty_truth_is_complete(self):
+        assert pair_completeness(small_cover(), []) == 1.0
+
+    def test_perfect_cover(self):
+        cover = Cover([Neighborhood("all", frozenset({"a", "b", "c"}))])
+        truth = {pair("a", "b"), pair("b", "c"), pair("a", "c")}
+        assert pair_completeness(cover, truth) == 1.0
+
+
+class TestReductionRatio:
+    def test_full_neighborhood_no_reduction(self):
+        cover = Cover([Neighborhood("all", frozenset({"a", "b", "c", "d"}))])
+        assert reduction_ratio(cover) == pytest.approx(0.0)
+
+    def test_small_neighborhoods_reduce_work(self):
+        cover = small_cover()
+        # candidate pairs = C(3,2) + C(2,2) + 0 = 4; possible pairs = C(5,2) = 10.
+        assert reduction_ratio(cover) == pytest.approx(0.6)
+
+    def test_explicit_entity_count(self):
+        cover = small_cover()
+        assert reduction_ratio(cover, entity_count=10) == pytest.approx(1 - 4 / 45)
+
+    def test_single_entity(self):
+        cover = Cover([Neighborhood("n", frozenset({"a"}))])
+        assert reduction_ratio(cover) == 0.0
+
+
+class TestEvaluateCover:
+    def test_report_fields(self):
+        cover = small_cover()
+        truth = {pair("a", "b"), pair("a", "d")}
+        report = evaluate_cover(cover, truth)
+        assert report.pair_completeness == pytest.approx(0.5)
+        assert report.reduction_ratio == pytest.approx(0.6)
+        assert report.candidate_pairs == 4
+        assert report.covered_true_pairs == 1
+        assert report.true_pairs == 2
+        assert report.total_possible_pairs == 10
+        assert report.as_dict()["pair_completeness"] == pytest.approx(0.5)
+
+    def test_on_generated_dataset(self, hepth_dataset, hepth_cover):
+        report = evaluate_cover(hepth_cover, hepth_dataset.true_matches(),
+                                entity_count=len(hepth_dataset.store.entity_ids()))
+        # The canopy+boundary cover keeps most true pairs reachable while
+        # avoiding the quadratic comparison space.
+        assert report.pair_completeness >= 0.7
+        assert 0.0 < report.reduction_ratio < 1.0

@@ -1,0 +1,99 @@
+"""Tests for boundary expansion and total-cover construction."""
+
+import pytest
+
+from repro.blocking import (
+    CanopyBlocker,
+    Cover,
+    Neighborhood,
+    build_total_cover,
+    expand_to_total_cover,
+    neighborhood_boundary,
+)
+from repro.datamodel import EntityStore, Relation, make_author, make_paper
+from repro.exceptions import CoverError
+
+
+def relational_store():
+    """Authors a1/a2 (similar), coauthors b1/b2, papers p1/p2."""
+    store = EntityStore()
+    store.add_entities([
+        make_author("a1", "John", "Smith"),
+        make_author("a2", "J.", "Smith"),
+        make_author("b1", "Karl", "Keller"),
+        make_author("b2", "K.", "Keller"),
+        make_paper("p1", title="Paper One"),
+        make_paper("p2", title="Paper Two"),
+    ])
+    authored = Relation("authored", arity=2)
+    for author, paper in (("a1", "p1"), ("b1", "p1"), ("a2", "p2"), ("b2", "p2")):
+        authored.add(author, paper)
+    store.add_relation(authored)
+    store.derive_coauthor("authored")
+    return store
+
+
+class TestBoundary:
+    def test_boundary_follows_relations(self):
+        store = relational_store()
+        boundary = neighborhood_boundary(store, {"a1"}, ["coauthor"])
+        assert boundary == {"b1"}
+
+    def test_boundary_excludes_members(self):
+        store = relational_store()
+        boundary = neighborhood_boundary(store, {"a1", "b1"}, ["coauthor"])
+        assert boundary == set()
+
+    def test_boundary_all_relations_includes_papers(self):
+        store = relational_store()
+        boundary = neighborhood_boundary(store, {"a1"})
+        assert boundary == {"b1", "p1"}
+
+
+class TestExpandToTotalCover:
+    def test_coauthor_tuples_become_covered(self):
+        store = relational_store()
+        base = Cover([Neighborhood("authors", frozenset({"a1", "a2"}))])
+        expanded = expand_to_total_cover(base, store, ["coauthor"])
+        authors_neighborhood = expanded.neighborhood("authors")
+        assert {"a1", "a2", "b1", "b2"} <= authors_neighborhood.entity_ids
+        assert not expanded.uncovered_tuples(store, ["coauthor"])
+
+    def test_uncovered_entities_become_singletons(self):
+        store = relational_store()
+        base = Cover([Neighborhood("authors", frozenset({"a1", "a2"}))])
+        expanded = expand_to_total_cover(base, store, ["coauthor"])
+        # The papers are not reachable through the coauthor relation; they get
+        # singleton neighborhoods so the result is still a cover of the store.
+        assert expanded.covers(store.entity_ids())
+
+    def test_multiple_rounds_reach_further(self):
+        store = relational_store()
+        base = Cover([Neighborhood("seed", frozenset({"a1"}))])
+        one_round = expand_to_total_cover(base, store, ["coauthor", "authored"], rounds=1)
+        two_rounds = expand_to_total_cover(base, store, ["coauthor", "authored"], rounds=2)
+        assert len(one_round.neighborhood("seed")) <= len(two_rounds.neighborhood("seed"))
+
+    def test_invalid_rounds(self):
+        store = relational_store()
+        base = Cover([Neighborhood("seed", frozenset({"a1"}))])
+        with pytest.raises(ValueError):
+            expand_to_total_cover(base, store, rounds=0)
+
+
+class TestBuildTotalCover:
+    def test_canopy_plus_boundary_is_total(self):
+        store = relational_store()
+        cover = build_total_cover(CanopyBlocker(), store, relation_names=["coauthor"])
+        assert cover.is_total(store, ["coauthor"])
+        assert cover.covers(store.entity_ids())
+
+    def test_validation_failure_raises(self, hepth_dataset):
+        # Following the paper-to-paper 'cites' relation from an author-only
+        # cover cannot produce a total cover in one round: validation fails.
+        store = hepth_dataset.store
+        with pytest.raises(CoverError):
+            build_total_cover(CanopyBlocker(), store, relation_names=["cites"])
+
+    def test_tiny_dataset_cover_is_total_over_coauthor(self, hepth_dataset, hepth_cover):
+        assert hepth_cover.is_total(hepth_dataset.store, ["coauthor"])

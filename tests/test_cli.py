@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import dblp_tiny, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "dblp_tiny.json"
+    save_dataset(dblp_tiny(), path)
+    return path
+
+
+class TestInfoAndParsing:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "repro" in output
+        assert "jaro_winkler" in output
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestGenerate:
+    def test_generate_writes_dataset(self, tmp_path, capsys):
+        output = tmp_path / "generated.json"
+        code = main(["generate", "--preset", "dblp", "--scale", "0.12",
+                     "--seed", "3", "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert payload["name"] == "dblp-like"
+        assert "author_references" in capsys.readouterr().out
+
+    def test_generate_rejects_bad_preset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--preset", "nonsense", "--output", str(tmp_path / "x.json")])
+
+
+class TestCover:
+    def test_cover_reports_quality(self, dataset_file, capsys):
+        assert main(["cover", "--dataset", str(dataset_file)]) == 0
+        output = capsys.readouterr().out
+        assert "neighborhoods" in output
+        assert "pair_completeness" in output
+
+    def test_missing_dataset_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cover", "--dataset", str(tmp_path / "missing.json")])
+
+
+class TestMatch:
+    def test_match_rules_smp(self, dataset_file, tmp_path, capsys):
+        clusters_path = tmp_path / "clusters.json"
+        code = main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
+                     "--scheme", "smp", "--output", str(clusters_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "precision" in output
+        clusters = json.loads(clusters_path.read_text())
+        assert isinstance(clusters, list)
+        assert all(len(cluster) > 1 for cluster in clusters)
+
+    def test_match_mln_no_mp(self, dataset_file, capsys):
+        assert main(["match", "--dataset", str(dataset_file), "--matcher", "mln",
+                     "--scheme", "no-mp"]) == 0
+        assert "no-mp" in capsys.readouterr().out
+
+    def test_mmp_with_type1_matcher_rejected(self, dataset_file):
+        with pytest.raises(SystemExit):
+            main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
+                  "--scheme", "mmp"])

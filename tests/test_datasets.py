@@ -1,0 +1,207 @@
+"""Tests for the synthetic dataset generators, noise models and loader."""
+
+import random
+
+import pytest
+
+from repro.datamodel import EntityPair
+from repro.datasets import (
+    BibliographyGenerator,
+    GeneratorConfig,
+    NameNoiseModel,
+    abbreviate_first_name,
+    add_similarity_edges,
+    dataset_from_dict,
+    dataset_to_dict,
+    dblp_config,
+    dblp_tiny,
+    hepth_config,
+    hepth_tiny,
+    load_dataset,
+    mutate_name,
+    save_dataset,
+)
+from repro.datasets.names import sample_last_name
+
+
+class TestNoise:
+    def test_abbreviate(self):
+        assert abbreviate_first_name("John") == "J."
+        assert abbreviate_first_name("john", with_period=False) == "J"
+        assert abbreviate_first_name("") == ""
+
+    def test_mutate_name_zero_probability_is_identity(self):
+        rng = random.Random(0)
+        assert mutate_name("smith", rng, typo_probability=0.0) == "smith"
+
+    def test_mutate_name_certain_probability_changes(self):
+        rng = random.Random(0)
+        changed = sum(mutate_name("smith", rng, typo_probability=1.0) != "smith"
+                      for _ in range(20))
+        assert changed >= 15  # transposition of identical letters can be a no-op
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            mutate_name("x", random.Random(0), typo_probability=2.0)
+        with pytest.raises(ValueError):
+            NameNoiseModel(abbreviate_probability=1.5)
+
+    def test_noise_model_render_abbreviates(self):
+        model = NameNoiseModel(abbreviate_probability=1.0, typo_probability=0.0)
+        first, last = model.render("John", "Smith", random.Random(0))
+        assert first == "J."
+        assert last == "Smith"
+
+
+class TestNames:
+    def test_last_name_concentration_skews_distribution(self):
+        rng = random.Random(0)
+        concentrated = [sample_last_name(rng, concentration=5.0) for _ in range(300)]
+        rng = random.Random(0)
+        flat = [sample_last_name(rng, concentration=0.0) for _ in range(300)]
+        assert len(set(concentrated)) < len(set(flat))
+
+    def test_negative_concentration_rejected(self):
+        with pytest.raises(ValueError):
+            sample_last_name(random.Random(0), concentration=-1.0)
+
+
+class TestGeneratorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_authors=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(authors_per_paper=(3, 2))
+        with pytest.raises(ValueError):
+            GeneratorConfig(community_affinity=2.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_sources=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(source_coverage=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(source_noise=())
+
+    def test_noise_for_source_cycles(self):
+        noisy = NameNoiseModel(abbreviate_probability=1.0)
+        clean = NameNoiseModel(abbreviate_probability=0.0)
+        config = GeneratorConfig(source_noise=(clean, noisy))
+        assert config.noise_for_source(0) is clean
+        assert config.noise_for_source(1) is noisy
+        assert config.noise_for_source(2) is clean
+
+    def test_describe_round_trips_key_fields(self):
+        config = hepth_config(scale=0.2)
+        described = config.describe()
+        assert described["n_authors"] == config.n_authors
+        assert len(described["per_source_noise"]) == 3
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        config = GeneratorConfig(n_authors=20, n_papers=30, seed=5)
+        first = BibliographyGenerator(config).generate()
+        second = BibliographyGenerator(config).generate()
+        assert first.labels == second.labels
+        assert first.store.similar_pairs() == second.store.similar_pairs()
+
+    def test_structure_of_generated_store(self, hepth_dataset):
+        store = hepth_dataset.store
+        assert store.has_relation("authored")
+        assert store.has_relation("coauthor")
+        assert store.has_relation("cites")
+        assert len(store.entities_of_type("author")) == hepth_dataset.reference_count()
+        assert len(store.entities_of_type("paper")) == hepth_dataset.paper_count()
+
+    def test_every_reference_is_labelled_and_authored(self, hepth_dataset):
+        store = hepth_dataset.store
+        authored = store.relation("authored")
+        for author in store.entities_of_type("author"):
+            assert author.entity_id in hepth_dataset.labels
+            assert authored.neighbors(author.entity_id), "every record authors some paper"
+
+    def test_duplicates_exist_across_sources(self, hepth_dataset):
+        labels = hepth_dataset.labels
+        assert hepth_dataset.reference_count() > hepth_dataset.distinct_author_count()
+        assert len(hepth_dataset.true_matches()) > 0
+
+    def test_true_matches_connect_different_sources_only(self, hepth_dataset):
+        store = hepth_dataset.store
+        for a, b in list(hepth_dataset.true_matches())[:50]:
+            assert store.entity(a).get("source") != store.entity(b).get("source")
+
+    def test_stats_keys(self, dblp_dataset):
+        stats = dblp_dataset.stats()
+        for key in ("author_references", "distinct_authors", "papers",
+                    "true_match_pairs", "candidate_pairs"):
+            assert key in stats
+
+    def test_true_candidate_matches_subset(self, dblp_dataset):
+        assert dblp_dataset.true_candidate_matches() <= dblp_dataset.true_matches()
+        assert dblp_dataset.true_candidate_matches() <= dblp_dataset.store.similar_pairs()
+
+    def test_is_true_match(self, hepth_dataset):
+        truth = list(hepth_dataset.true_matches())
+        assert hepth_dataset.is_true_match(truth[0])
+        assert not hepth_dataset.is_true_match(EntityPair.of("missing-a", "missing-b"))
+
+
+class TestPresetShapes:
+    def test_hepth_has_more_candidate_ambiguity_than_dblp(self):
+        """Abbreviated names create more candidate pairs per true pair."""
+        hepth = hepth_tiny()
+        dblp = dblp_tiny()
+        hepth_ratio = len(hepth.store.similar_pairs()) / max(1, len(hepth.true_matches()))
+        dblp_ratio = len(dblp.store.similar_pairs()) / max(1, len(dblp.true_matches()))
+        assert hepth_ratio > dblp_ratio
+
+    def test_scale_parameter_grows_dataset(self):
+        small = hepth_config(scale=0.2)
+        large = hepth_config(scale=0.4)
+        assert large.n_authors > small.n_authors
+        assert large.n_papers > small.n_papers
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            hepth_config(scale=0.0)
+        with pytest.raises(ValueError):
+            dblp_config(scale=-1.0)
+
+
+class TestSimilarityIndex:
+    def test_add_similarity_edges_is_idempotent_on_the_store(self, hepth_dataset):
+        # Re-running the index builder rediscovers exactly the same candidate
+        # pairs: the pair set is unchanged and every written edge was already
+        # present.
+        store = hepth_dataset.store.copy()
+        before = store.similar_pairs()
+        rewritten = add_similarity_edges(store)
+        assert store.similar_pairs() == before
+        assert rewritten == len(before)
+
+    def test_candidates_have_valid_levels(self, hepth_dataset):
+        for edge in hepth_dataset.store.similarity_edges():
+            assert edge.level in (1, 2, 3)
+            assert 0.0 <= edge.score <= 1.0
+
+
+class TestLoader:
+    def test_round_trip(self, tmp_path, dblp_dataset):
+        path = save_dataset(dblp_dataset, tmp_path / "dblp.json")
+        loaded = load_dataset(path)
+        assert loaded.name == dblp_dataset.name
+        assert loaded.labels == dblp_dataset.labels
+        assert loaded.store.similar_pairs() == dblp_dataset.store.similar_pairs()
+        assert loaded.store.entity_ids() == dblp_dataset.store.entity_ids()
+        for relation_name in dblp_dataset.store.relation_names():
+            assert loaded.store.relation(relation_name) == dblp_dataset.store.relation(relation_name)
+
+    def test_dict_round_trip(self, hepth_dataset):
+        payload = dataset_to_dict(hepth_dataset)
+        rebuilt = dataset_from_dict(payload)
+        assert rebuilt.stats() == hepth_dataset.stats()
+
+    def test_unsupported_version_rejected(self, hepth_dataset):
+        payload = dataset_to_dict(hepth_dataset)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            dataset_from_dict(payload)

@@ -1,0 +1,92 @@
+"""Tests for repro.datamodel.entity."""
+
+import pytest
+
+from repro.datamodel import AUTHOR_TYPE, PAPER_TYPE, Entity, entities_by_type, make_author, make_paper
+
+
+class TestEntity:
+    def test_basic_construction(self):
+        entity = Entity("e1", "author", {"fname": "Ada", "lname": "Lovelace"})
+        assert entity.entity_id == "e1"
+        assert entity.entity_type == "author"
+        assert entity["fname"] == "Ada"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("", "author")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("e1", "")
+
+    def test_get_with_default(self):
+        entity = Entity("e1", "author", {"fname": "Ada"})
+        assert entity.get("fname") == "Ada"
+        assert entity.get("missing") is None
+        assert entity.get("missing", 42) == 42
+
+    def test_contains(self):
+        entity = Entity("e1", "author", {"fname": "Ada"})
+        assert "fname" in entity
+        assert "lname" not in entity
+
+    def test_equality_includes_attributes(self):
+        first = Entity("e1", "author", {"fname": "Ada"})
+        second = Entity("e1", "author", {"fname": "Ada"})
+        third = Entity("e1", "author", {"fname": "Grace"})
+        assert first == second
+        assert first != third
+
+    def test_hash_by_identity_fields(self):
+        first = Entity("e1", "author", {"fname": "Ada"})
+        second = Entity("e1", "author", {"fname": "Grace"})
+        # Same id/type hash equal even if attributes differ (sets still work).
+        assert hash(first) == hash(second)
+
+    def test_attributes_are_copied(self):
+        attributes = {"fname": "Ada"}
+        entity = Entity("e1", "author", attributes)
+        attributes["fname"] = "Changed"
+        assert entity["fname"] == "Ada"
+
+    def test_with_attributes_returns_new_entity(self):
+        entity = Entity("e1", "author", {"fname": "Ada"})
+        updated = entity.with_attributes(lname="Lovelace")
+        assert updated is not entity
+        assert updated["lname"] == "Lovelace"
+        assert "lname" not in entity
+        assert updated.entity_id == entity.entity_id
+
+
+class TestConvenienceConstructors:
+    def test_make_author(self):
+        author = make_author("a1", "Ada", "Lovelace", source="dblp", position=2)
+        assert author.entity_type == AUTHOR_TYPE
+        assert author["fname"] == "Ada"
+        assert author["lname"] == "Lovelace"
+        assert author["source"] == "dblp"
+        assert author["position"] == 2
+
+    def test_make_paper(self):
+        paper = make_paper("p1", title="On Computable Numbers", journal="LMS",
+                           year=1936, category="cs")
+        assert paper.entity_type == PAPER_TYPE
+        assert paper["title"] == "On Computable Numbers"
+        assert paper["year"] == 1936
+
+    def test_make_paper_optional_fields_absent(self):
+        paper = make_paper("p1", title="T")
+        assert "year" not in paper
+        assert "category" not in paper
+
+
+class TestEntitiesByType:
+    def test_grouping(self):
+        entities = [make_author("a1"), make_author("a2"), make_paper("p1")]
+        groups = entities_by_type(entities)
+        assert {e.entity_id for e in groups[AUTHOR_TYPE]} == {"a1", "a2"}
+        assert {e.entity_id for e in groups[PAPER_TYPE]} == {"p1"}
+
+    def test_empty_input(self):
+        assert entities_by_type([]) == {}

@@ -1,0 +1,184 @@
+"""Tests for metrics, soundness/completeness, timing, reports and the experiment runner."""
+
+import pytest
+
+from repro.core import EMFramework
+from repro.datamodel import EntityPair
+from repro.evaluation import (
+    ExperimentRunner,
+    PrecisionRecall,
+    Stopwatch,
+    cluster_metrics,
+    format_experiment,
+    format_key_values,
+    format_table,
+    precision_recall_f1,
+    soundness_completeness,
+    time_call,
+)
+from repro.exceptions import ExperimentError
+from repro.matchers import MLNMatcher, RulesMatcher
+from tests.util import build_two_hop_store, pair, two_hop_rules
+
+
+class TestPrecisionRecall:
+    def test_perfect_prediction(self):
+        truth = {pair("a", "b"), pair("c", "d")}
+        metrics = precision_recall_f1(truth, truth)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_counts(self):
+        predicted = {pair("a", "b"), pair("x", "y")}
+        truth = {pair("a", "b"), pair("c", "d")}
+        metrics = precision_recall_f1(predicted, truth)
+        assert metrics.true_positives == 1
+        assert metrics.false_positives == 1
+        assert metrics.false_negatives == 1
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.f1 == pytest.approx(0.5)
+
+    def test_empty_prediction(self):
+        metrics = precision_recall_f1([], {pair("a", "b")})
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_empty_truth(self):
+        metrics = precision_recall_f1({pair("a", "b")}, [])
+        assert metrics.recall == 1.0
+        assert metrics.precision == 0.0
+
+    def test_both_empty(self):
+        metrics = precision_recall_f1([], [])
+        assert metrics.precision == 1.0 and metrics.recall == 1.0
+
+    def test_restrict_to(self):
+        predicted = {pair("a", "b"), pair("x", "y")}
+        truth = {pair("a", "b"), pair("c", "d")}
+        metrics = precision_recall_f1(predicted, truth, restrict_to={pair("a", "b")})
+        assert metrics.precision == 1.0 and metrics.recall == 1.0
+
+    def test_as_dict(self):
+        metrics = precision_recall_f1({pair("a", "b")}, {pair("a", "b")})
+        assert metrics.as_dict()["f1"] == 1.0
+
+    def test_cluster_metrics(self):
+        result = cluster_metrics([["a", "b"], ["x", "y", "z"]], [["a", "b"], ["x", "y"]])
+        assert result["cluster_precision"] == pytest.approx(0.5)
+        assert result["cluster_recall"] == pytest.approx(0.5)
+        assert cluster_metrics([], [])["cluster_precision"] == 1.0
+
+
+class TestSoundnessCompleteness:
+    def test_sound_and_incomplete(self):
+        scheme = {pair("a", "b")}
+        reference = {pair("a", "b"), pair("c", "d")}
+        report = soundness_completeness(scheme, reference)
+        assert report.is_sound
+        assert not report.is_complete
+        assert report.completeness == pytest.approx(0.5)
+
+    def test_unsound(self):
+        report = soundness_completeness({pair("x", "y")}, {pair("a", "b")})
+        assert report.soundness == 0.0
+
+    def test_empty_scheme_is_vacuously_sound(self):
+        report = soundness_completeness([], {pair("a", "b")})
+        assert report.soundness == 1.0
+        assert report.completeness == 0.0
+
+    def test_as_dict(self):
+        report = soundness_completeness({pair("a", "b")}, {pair("a", "b")})
+        assert report.as_dict()["soundness"] == 1.0
+
+
+class TestTiming:
+    def test_stopwatch(self):
+        watch = Stopwatch()
+        with watch.measure("step"):
+            sum(range(1000))
+        with watch.measure("step"):
+            sum(range(1000))
+        assert watch.count("step") == 2
+        assert watch.total("step") > 0.0
+        assert "step" in watch.summary()
+        assert watch.total("missing") == 0.0
+
+    def test_time_call(self):
+        result, elapsed = time_call(sum, range(10))
+        assert result == 45
+        assert elapsed >= 0.0
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [{"scheme": "smp", "f1": 0.91}, {"scheme": "mmp", "f1": 0.92}]
+        text = format_table(rows, title="Accuracy")
+        assert "Accuracy" in text
+        assert "smp" in text and "0.920" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="Nothing")
+
+    def test_format_key_values(self):
+        text = format_key_values({"neighborhoods": 12, "pairs": 34.5}, title="Cover")
+        assert "neighborhoods: 12" in text
+        assert "34.500" in text
+
+
+class TestExperimentRunner:
+    def build_runner(self):
+        store, cover = build_two_hop_store()
+        # Treat the two-hop instance as a dataset by wrapping it manually.
+        from repro.datasets import BibliographicDataset
+        labels = {"a1": "A", "a2": "A", "b1": "B", "b2": "B",
+                  "c1": "C", "c2": "C", "d1": "D", "d2": "D"}
+        dataset = BibliographicDataset(name="two-hop", store=store, labels=labels)
+        matcher = MLNMatcher(rules=two_hop_rules())
+        return ExperimentRunner(dataset, matcher, cover=cover)
+
+    def test_rows_for_requested_schemes(self):
+        outcome = self.build_runner().run(schemes=("no-mp", "smp", "mmp"))
+        assert {row.scheme for row in outcome.rows} == {"no-mp", "smp", "mmp"}
+        smp_row = outcome.row_for("smp")
+        assert smp_row.precision == 1.0
+        assert smp_row.recall == 1.0
+        nomp_row = outcome.row_for("no-mp")
+        assert nomp_row.recall < 1.0
+
+    def test_reference_scheme_soundness(self):
+        outcome = self.build_runner().run(schemes=("no-mp", "smp"),
+                                          include_full=True, reference_scheme="full")
+        nomp_row = outcome.row_for("no-mp")
+        assert nomp_row.soundness == 1.0
+        assert nomp_row.completeness < 1.0
+        full_row = outcome.row_for("full")
+        assert full_row.soundness is None
+
+    def test_unknown_reference_scheme(self):
+        with pytest.raises(ExperimentError):
+            self.build_runner().run(schemes=("smp",), reference_scheme="ub")
+
+    def test_mmp_skipped_for_type1(self):
+        store, cover = build_two_hop_store()
+        from repro.datasets import BibliographicDataset
+        dataset = BibliographicDataset(name="two-hop", store=store,
+                                       labels={"a1": "A", "a2": "A"})
+        runner = ExperimentRunner(dataset, RulesMatcher(), cover=cover)
+        outcome = runner.run(schemes=("no-mp", "smp", "mmp"))
+        assert "mmp" not in {row.scheme for row in outcome.rows}
+
+    def test_row_as_dict_and_formatting(self):
+        outcome = self.build_runner().run(schemes=("smp",))
+        row = outcome.rows[0].as_dict()
+        assert row["scheme"] == "smp"
+        text = format_experiment(outcome, title="two-hop")
+        assert "two-hop" in text
+
+    def test_missing_row_raises(self):
+        outcome = self.build_runner().run(schemes=("smp",))
+        with pytest.raises(ExperimentError):
+            outcome.row_for("mmp")

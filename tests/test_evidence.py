@@ -1,0 +1,52 @@
+"""Tests for repro.datamodel.evidence."""
+
+import pytest
+
+from repro.datamodel import EntityPair, Evidence
+from repro.exceptions import MatcherError
+
+
+def pair(a, b):
+    return EntityPair.of(a, b)
+
+
+class TestEvidence:
+    def test_empty(self):
+        evidence = Evidence.empty()
+        assert evidence.is_empty()
+        assert len(evidence) == 0
+
+    def test_of_builds_frozen_sets(self):
+        evidence = Evidence.of(positive=[("a", "b")], negative=[pair("c", "d")])
+        assert evidence.positive == {pair("a", "b")}
+        assert evidence.negative == {pair("c", "d")}
+        assert len(evidence) == 2
+
+    def test_contradictory_evidence_rejected(self):
+        with pytest.raises(MatcherError):
+            Evidence.of(positive=[pair("a", "b")], negative=[pair("b", "a")])
+
+    def test_with_positive_and_negative(self):
+        evidence = Evidence.of(positive=[pair("a", "b")])
+        extended = evidence.with_positive([pair("c", "d")]).with_negative([pair("e", "f")])
+        assert pair("c", "d") in extended.positive
+        assert pair("e", "f") in extended.negative
+        # The original is unchanged (immutability).
+        assert len(evidence) == 1
+
+    def test_restricted_to(self):
+        evidence = Evidence.of(
+            positive=[pair("a", "b"), pair("c", "d")],
+            negative=[pair("a", "c")],
+        )
+        restricted = evidence.restricted_to({"a", "b", "c"})
+        assert restricted.positive == {pair("a", "b")}
+        assert restricted.negative == {pair("a", "c")}
+
+    def test_restricted_to_empty(self):
+        evidence = Evidence.of(positive=[pair("a", "b")])
+        assert evidence.restricted_to({"x"}).is_empty()
+
+    def test_hashable(self):
+        assert hash(Evidence.of(positive=[pair("a", "b")])) == hash(
+            Evidence.of(positive=[pair("b", "a")]))

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    CoverError,
+    DataModelError,
+    ExperimentError,
+    InferenceError,
+    InvalidPairError,
+    MatcherError,
+    ReproError,
+    RuleParseError,
+    UnknownEntityError,
+    UnknownRelationError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exception_type in (DataModelError, UnknownEntityError, UnknownRelationError,
+                               InvalidPairError, CoverError, MatcherError, InferenceError,
+                               RuleParseError, ExperimentError):
+            assert issubclass(exception_type, ReproError)
+
+    def test_data_model_family(self):
+        assert issubclass(UnknownEntityError, DataModelError)
+        assert issubclass(UnknownRelationError, DataModelError)
+        assert issubclass(InvalidPairError, DataModelError)
+
+    def test_inference_is_a_matcher_error(self):
+        assert issubclass(InferenceError, MatcherError)
+
+    def test_unknown_entity_carries_id(self):
+        error = UnknownEntityError("ref-42")
+        assert error.entity_id == "ref-42"
+        assert "ref-42" in str(error)
+
+    def test_unknown_relation_carries_name(self):
+        error = UnknownRelationError("cites")
+        assert error.relation_name == "cites"
+        assert "cites" in str(error)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(ReproError):
+            raise CoverError("broken cover")

@@ -1,0 +1,93 @@
+"""Tests for the EMFramework facade."""
+
+import pytest
+
+from repro.core import EMFramework
+from repro.exceptions import ExperimentError
+from repro.matchers import MLNMatcher, RulesMatcher
+from repro.mln import paper_author_rules
+from tests.util import (
+    build_chain_store,
+    build_two_hop_store,
+    chain_cover,
+    chain_pair,
+    pair,
+    two_hop_rules,
+)
+
+
+class TestFrameworkWithExplicitCover:
+    def setup_framework(self):
+        store, cover = build_two_hop_store()
+        return EMFramework(MLNMatcher(rules=two_hop_rules()), store, cover=cover)
+
+    def test_run_by_name(self):
+        framework = self.setup_framework()
+        assert framework.run("no-mp").scheme == "no-mp"
+        assert framework.run("NO_MP").scheme == "no-mp"
+        assert framework.run("smp").scheme == "smp"
+        assert framework.run("mmp").scheme == "mmp"
+        assert framework.run("full").scheme == "full"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ExperimentError):
+            self.setup_framework().run("bogus")
+
+    def test_run_all(self):
+        results = self.setup_framework().run_all(include_full=True)
+        assert set(results) == {"no-mp", "smp", "mmp", "full"}
+        assert results["smp"].matches <= results["full"].matches
+
+    def test_run_all_skips_mmp_for_type1(self):
+        store, cover = build_two_hop_store()
+        framework = EMFramework(RulesMatcher(), store, cover=cover)
+        results = framework.run_all()
+        assert "mmp" not in results
+
+    def test_upper_bound_dispatch(self):
+        framework = self.setup_framework()
+        truth = [pair("a1", "a2"), pair("b1", "b2"), pair("c1", "c2"), pair("d1", "d2")]
+        ub = framework.run_upper_bound(truth)
+        assert ub.scheme == "ub"
+
+    def test_cover_stats_and_clusters(self):
+        framework = self.setup_framework()
+        stats = framework.cover_stats()
+        assert stats["neighborhoods"] == 2
+        result = framework.run("smp")
+        clusters = framework.clusters(result)
+        assert frozenset({"a1", "a2"}) in clusters
+
+    def test_runner_shared_and_counters_reset(self):
+        framework = self.setup_framework()
+        first = framework.run_no_mp()
+        second = framework.run_no_mp()
+        assert first.neighborhood_runs == second.neighborhood_runs
+
+    def test_full_prefix(self):
+        framework = self.setup_framework()
+        result = framework.run_full_prefix(1)
+        assert result.neighborhoods == 1
+
+
+class TestFrameworkWithBlocker:
+    def test_builds_total_cover_from_default_blocker(self, hepth_dataset):
+        framework = EMFramework(RulesMatcher(), hepth_dataset.store)
+        assert framework.cover.is_total(hepth_dataset.store, ["coauthor"])
+        assert framework.cover.covers(hepth_dataset.store.entity_ids())
+
+    def test_mmp_rejected_for_type1_matcher(self):
+        store, cover = build_two_hop_store()
+        framework = EMFramework(RulesMatcher(), store, cover=cover)
+        from repro.exceptions import MatcherError
+        with pytest.raises(MatcherError):
+            framework.run_mmp()
+
+    def test_ring_framework_end_to_end(self):
+        store = build_chain_store(4, level=2)
+        cover = chain_cover(4, window=3)
+        framework = EMFramework(MLNMatcher(rules=paper_author_rules()), store, cover=cover)
+        results = framework.run_all()
+        assert results["no-mp"].matches == frozenset()
+        assert results["smp"].matches == frozenset()
+        assert results["mmp"].matches == {chain_pair(i) for i in range(4)}

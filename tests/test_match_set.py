@@ -1,0 +1,74 @@
+"""Tests for repro.datamodel.match_set."""
+
+from repro.datamodel import EntityPair, MatchSet
+
+
+def pair(a, b):
+    return EntityPair.of(a, b)
+
+
+class TestBasics:
+    def test_construction_and_len(self):
+        match_set = MatchSet([pair("a", "b"), ("b", "a")])
+        assert len(match_set) == 1
+        assert pair("a", "b") in match_set
+
+    def test_equality_with_sets(self):
+        match_set = MatchSet([pair("a", "b")])
+        assert match_set == {pair("a", "b")}
+        assert match_set == MatchSet([pair("b", "a")])
+
+    def test_algebra(self):
+        first = MatchSet([pair("a", "b"), pair("c", "d")])
+        second = MatchSet([pair("c", "d"), pair("e", "f")])
+        assert first.union(second) == MatchSet([pair("a", "b"), pair("c", "d"), pair("e", "f")])
+        assert first.intersection(second) == MatchSet([pair("c", "d")])
+        assert first.difference(second) == MatchSet([pair("a", "b")])
+        assert MatchSet([pair("a", "b")]).issubset(first)
+        assert first.issuperset([pair("a", "b")])
+
+    def test_entity_ids(self):
+        match_set = MatchSet([pair("a", "b"), pair("b", "c")])
+        assert match_set.entity_ids() == {"a", "b", "c"}
+
+
+class TestClustersAndClosure:
+    def test_clusters(self):
+        match_set = MatchSet([pair("a", "b"), pair("b", "c"), pair("x", "y")])
+        clusters = {frozenset(c) for c in match_set.clusters()}
+        assert clusters == {frozenset({"a", "b", "c"}), frozenset({"x", "y"})}
+
+    def test_transitive_closure(self):
+        match_set = MatchSet([pair("a", "b"), pair("b", "c")])
+        closed = match_set.transitive_closure()
+        assert pair("a", "c") in closed
+        assert len(closed) == 3
+
+    def test_closure_idempotent(self):
+        match_set = MatchSet([pair("a", "b"), pair("b", "c")])
+        once = match_set.transitive_closure()
+        assert once.transitive_closure() == once
+        assert once.is_transitively_closed()
+
+    def test_not_closed_detection(self):
+        assert not MatchSet([pair("a", "b"), pair("b", "c")]).is_transitively_closed()
+        assert MatchSet([pair("a", "b")]).is_transitively_closed()
+        assert MatchSet().is_transitively_closed()
+
+
+class TestConstructors:
+    def test_from_clusters(self):
+        match_set = MatchSet.from_clusters([["a", "b", "c"], ["x"]])
+        assert len(match_set) == 3
+        assert pair("a", "c") in match_set
+
+    def test_from_entity_labels(self):
+        labels = {"r1": "X", "r2": "X", "r3": "Y", "r4": "X"}
+        match_set = MatchSet.from_entity_labels(labels)
+        assert len(match_set) == 3
+        assert pair("r1", "r4") in match_set
+        assert pair("r1", "r3") not in match_set
+
+    def test_to_tuples_sorted(self):
+        match_set = MatchSet([pair("c", "d"), pair("a", "b")])
+        assert match_set.to_tuples() == [("a", "b"), ("c", "d")]

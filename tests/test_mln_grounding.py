@@ -1,0 +1,132 @@
+"""Tests for grounding and the ground network (scoring, deltas)."""
+
+import pytest
+
+from repro.datamodel import EntityPair
+from repro.mln import (
+    GroundNetwork,
+    Grounder,
+    database_from_store,
+    paper_author_rules,
+    section2_example_rules,
+)
+from tests.util import (
+    build_shared_coauthor_store,
+    build_support_pair_store,
+    pair,
+    weighted_rules,
+)
+
+
+def ground(store, rules):
+    db = database_from_store(store)
+    groundings = Grounder(rules).ground(db)
+    return GroundNetwork(groundings, db.candidates())
+
+
+class TestGrounding:
+    def test_shared_coauthor_grounding(self):
+        """The reflexive d1 = d1 coauthor grounding of Section 2.1 exists."""
+        store = build_shared_coauthor_store()
+        network = ground(store, section2_example_rules())
+        c_pair = pair("c1", "c2")
+        groundings = network.groundings_touching(c_pair)
+        # R1 unit grounding plus the R2 grounding with empty body (via d1).
+        names = sorted(g.rule_name for g in groundings)
+        assert names == ["R1", "R2"]
+        r2 = [g for g in groundings if g.rule_name == "R2"][0]
+        assert r2.head_pair == c_pair
+        assert r2.body_pairs == frozenset()
+
+    def test_support_pair_grounding_is_mutual(self):
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-5.0, 8.0))
+        a_pair, b_pair = pair("a1", "a2"), pair("b1", "b2")
+        coauthor_groundings = [g for g in network.groundings if g.rule_name == "coauthor"]
+        heads = {g.head_pair for g in coauthor_groundings}
+        assert heads == {a_pair, b_pair}
+        for grounding in coauthor_groundings:
+            assert grounding.body_pairs == {b_pair if grounding.head_pair == a_pair else a_pair}
+
+    def test_symmetric_duplicates_are_deduplicated(self):
+        """Reversed coauthor orderings must not double-count a grounding."""
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-5.0, 8.0))
+        coauthor_groundings = [g for g in network.groundings if g.rule_name == "coauthor"]
+        assert len(coauthor_groundings) == 2  # one per head pair
+
+    def test_non_candidate_heads_skipped(self):
+        store = build_shared_coauthor_store()
+        network = ground(store, section2_example_rules())
+        for grounding in network.groundings:
+            assert grounding.head_pair in network.candidates
+
+    def test_paper_rules_levels_ground_separately(self):
+        store = build_support_pair_store()  # both pairs are level 1
+        network = ground(store, paper_author_rules())
+        unit_rules = {g.rule_name for g in network.groundings if not g.body_pairs}
+        assert "similar_1" in unit_rules
+        assert "similar_3" not in unit_rules
+
+
+class TestNetworkScoring:
+    def test_score_of_empty_world(self):
+        store = build_shared_coauthor_store()
+        network = ground(store, section2_example_rules())
+        assert network.score(()) == 0.0
+
+    def test_section2_score_arithmetic(self):
+        """Matching (c1, c2) changes the score by -5 + 8 = +3 (Section 2.1)."""
+        store = build_shared_coauthor_store()
+        network = ground(store, section2_example_rules())
+        c_pair = pair("c1", "c2")
+        assert network.score({c_pair}) == pytest.approx(3.0)
+        assert network.delta_single(c_pair, ()) == pytest.approx(3.0)
+
+    def test_support_pair_collective_score(self):
+        """Two mutually supporting pairs: 2*(-5) + 2*8 = +6 together."""
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-5.0, 8.0))
+        a_pair, b_pair = pair("a1", "a2"), pair("b1", "b2")
+        assert network.score({a_pair}) == pytest.approx(-5.0)
+        assert network.score({a_pair, b_pair}) == pytest.approx(6.0)
+        assert network.delta({b_pair}, {a_pair}) == pytest.approx(11.0)
+
+    def test_delta_matches_score_difference(self):
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-3.0, 2.0))
+        a_pair, b_pair = pair("a1", "a2"), pair("b1", "b2")
+        base = {a_pair}
+        assert network.delta({b_pair}, base) == pytest.approx(
+            network.score(base | {b_pair}) - network.score(base))
+
+    def test_delta_of_already_present_pair_is_zero(self):
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-3.0, 2.0))
+        a_pair = pair("a1", "a2")
+        assert network.delta({a_pair}, {a_pair}) == 0.0
+
+    def test_explain_breakdown(self):
+        store = build_shared_coauthor_store()
+        network = ground(store, section2_example_rules())
+        breakdown = network.explain({pair("c1", "c2")})
+        assert breakdown == {"R1": pytest.approx(-5.0), "R2": pytest.approx(8.0)}
+
+    def test_support_graph(self):
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-5.0, 8.0))
+        graph = network.support_graph()
+        assert pair("b1", "b2") in graph[pair("a1", "a2")]
+
+    def test_log_probability_equals_score(self):
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-5.0, 8.0))
+        world = {pair("a1", "a2")}
+        assert network.log_probability(world) == network.score(world)
+
+    def test_size(self):
+        store = build_support_pair_store()
+        network = ground(store, weighted_rules(-5.0, 8.0))
+        size = network.size()
+        assert size["candidates"] == 2
+        assert size["groundings"] == 4

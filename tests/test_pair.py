@@ -1,0 +1,74 @@
+"""Tests for repro.datamodel.pair."""
+
+import pytest
+
+from repro.datamodel import Entity, EntityPair, all_pairs, pairs_from, pairs_involving
+from repro.exceptions import InvalidPairError
+
+
+class TestEntityPair:
+    def test_canonical_order(self):
+        assert EntityPair("b", "a") == EntityPair("a", "b")
+        assert EntityPair("b", "a").first == "a"
+
+    def test_identical_members_rejected(self):
+        with pytest.raises(InvalidPairError):
+            EntityPair("a", "a")
+
+    def test_of_accepts_entities(self):
+        first = Entity("a", "author")
+        second = Entity("b", "author")
+        assert EntityPair.of(second, first) == EntityPair("a", "b")
+
+    def test_coerce_tuple(self):
+        assert EntityPair.coerce(("b", "a")) == EntityPair("a", "b")
+
+    def test_coerce_pair_is_identity(self):
+        pair = EntityPair("a", "b")
+        assert EntityPair.coerce(pair) is pair
+
+    def test_iteration_and_tuple(self):
+        pair = EntityPair("b", "a")
+        assert list(pair) == ["a", "b"]
+        assert pair.as_tuple() == ("a", "b")
+
+    def test_other(self):
+        pair = EntityPair("a", "b")
+        assert pair.other("a") == "b"
+        assert pair.other("b") == "a"
+        with pytest.raises(KeyError):
+            pair.other("c")
+
+    def test_involves(self):
+        pair = EntityPair("a", "b")
+        assert pair.involves("a")
+        assert pair.involves("b")
+        assert not pair.involves("c")
+
+    def test_ordering_is_total(self):
+        pairs = [EntityPair("c", "d"), EntityPair("a", "b"), EntityPair("a", "c")]
+        assert sorted(pairs) == [EntityPair("a", "b"), EntityPair("a", "c"),
+                                 EntityPair("c", "d")]
+
+    def test_hashable_and_set_semantics(self):
+        assert len({EntityPair("a", "b"), EntityPair("b", "a")}) == 1
+
+
+class TestPairHelpers:
+    def test_pairs_from_mixed(self):
+        result = pairs_from([("b", "a"), EntityPair("c", "d")])
+        assert result == {EntityPair("a", "b"), EntityPair("c", "d")}
+        assert isinstance(result, frozenset)
+
+    def test_all_pairs_count(self):
+        ids = ["a", "b", "c", "d"]
+        pairs = all_pairs(ids)
+        assert len(pairs) == 6
+
+    def test_all_pairs_deduplicates_input(self):
+        assert len(all_pairs(["a", "b", "a"])) == 1
+
+    def test_pairs_involving(self):
+        pairs = all_pairs(["a", "b", "c"])
+        touching_a = pairs_involving(pairs, ["a"])
+        assert touching_a == {EntityPair("a", "b"), EntityPair("a", "c")}

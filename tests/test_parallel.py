@@ -1,0 +1,152 @@
+"""Tests for the parallel grid executor, partitioner and local executors."""
+
+import pytest
+
+from repro.core import FullRun, MaximalMessagePassing, SimpleMessagePassing
+from repro.exceptions import ExperimentError, MatcherError
+from repro.matchers import MLNMatcher, RulesMatcher
+from repro.mln import paper_author_rules
+from repro.parallel import (
+    GridExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    lpt_partition,
+    makespan,
+    random_partition,
+    skew,
+    total_work,
+)
+from tests.util import (
+    build_chain_store,
+    build_two_hop_store,
+    chain_cover,
+    chain_pair,
+    pair,
+    two_hop_rules,
+)
+
+
+class TestPartitioner:
+    TASKS = [("n1", 4.0), ("n2", 3.0), ("n3", 2.0), ("n4", 1.0)]
+
+    def test_random_partition_assigns_every_task(self):
+        assignment = random_partition(self.TASKS, workers=3, seed=1)
+        assert sum(len(worker) for worker in assignment) == len(self.TASKS)
+        assert len(assignment) == 3
+
+    def test_random_partition_deterministic_given_seed(self):
+        assert random_partition(self.TASKS, 3, seed=5) == random_partition(self.TASKS, 3, seed=5)
+
+    def test_lpt_partition_balances(self):
+        lpt = lpt_partition(self.TASKS, workers=2)
+        assert makespan(lpt) == pytest.approx(5.0)
+
+    def test_makespan_single_worker_is_total_work(self):
+        single = random_partition(self.TASKS, workers=1)
+        assert makespan(single) == pytest.approx(total_work(self.TASKS)) == pytest.approx(10.0)
+
+    def test_makespan_bounds(self):
+        assignment = random_partition(self.TASKS, workers=2, seed=0)
+        assert total_work(self.TASKS) / 2 <= makespan(assignment) <= total_work(self.TASKS)
+
+    def test_skew(self):
+        balanced = lpt_partition(self.TASKS, workers=2)
+        assert skew(balanced) >= 1.0
+        assert skew([[("a", 1.0)], []]) == pytest.approx(2.0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            random_partition(self.TASKS, 0)
+        with pytest.raises(ValueError):
+            lpt_partition(self.TASKS, 0)
+
+
+class TestGridExecutor:
+    def test_grid_smp_matches_sequential_smp(self):
+        store, cover = build_two_hop_store()
+        grid = GridExecutor(scheme="smp").run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        sequential = SimpleMessagePassing().run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        assert grid.matches == sequential.matches
+        assert grid.round_count >= 2  # the dependent pair needs a second round
+
+    def test_grid_nomp_single_round(self):
+        store, cover = build_two_hop_store()
+        grid = GridExecutor(scheme="no-mp").run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        assert grid.round_count == 1
+
+    def test_grid_mmp_resolves_ring(self):
+        store = build_chain_store(4, level=2)
+        cover = chain_cover(4, window=3)
+        grid = GridExecutor(scheme="mmp").run(MLNMatcher(rules=paper_author_rules()), store, cover)
+        assert grid.matches == {chain_pair(i) for i in range(4)}
+
+    def test_grid_results_are_sound(self):
+        store, cover = build_two_hop_store()
+        matcher = MLNMatcher(rules=two_hop_rules())
+        grid = GridExecutor(scheme="smp").run(matcher, store, cover)
+        full = FullRun().run(matcher, store)
+        assert grid.matches <= full.matches
+
+    def test_simulated_wall_clock_monotone_in_workers(self):
+        store, cover = build_two_hop_store()
+        grid = GridExecutor(scheme="smp").run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        one = grid.simulated_wall_clock(1)
+        many = grid.simulated_wall_clock(8)
+        assert many <= one + 1e-9
+        assert grid.speedup(8) >= 1.0
+
+    def test_per_round_overhead_added(self):
+        store, cover = build_two_hop_store()
+        grid = GridExecutor(scheme="smp").run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        base = grid.simulated_wall_clock(4)
+        padded = grid.simulated_wall_clock(4, per_round_overhead=10.0)
+        assert padded == pytest.approx(base + 10.0 * grid.round_count)
+
+    def test_lpt_strategy_never_slower_than_random(self):
+        store, cover = build_two_hop_store()
+        grid = GridExecutor(scheme="smp").run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        assert grid.simulated_wall_clock(4, strategy="lpt") <= \
+            grid.simulated_wall_clock(4, strategy="random") + 1e-9
+
+    def test_unknown_strategy(self):
+        store, cover = build_two_hop_store()
+        grid = GridExecutor(scheme="no-mp").run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        with pytest.raises(ExperimentError):
+            grid.simulated_wall_clock(4, strategy="magic")
+
+    def test_to_scheme_result(self):
+        store, cover = build_two_hop_store()
+        grid = GridExecutor(scheme="smp").run(MLNMatcher(rules=two_hop_rules()), store, cover)
+        result = grid.to_scheme_result()
+        assert result.scheme == "grid-smp"
+        assert result.matches == grid.matches
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ExperimentError):
+            GridExecutor(scheme="bogus")
+
+    def test_mmp_requires_type2(self):
+        store, cover = build_two_hop_store()
+        with pytest.raises(MatcherError):
+            GridExecutor(scheme="mmp").run(RulesMatcher(), store, cover)
+
+
+class TestLocalExecutors:
+    def test_serial_executor(self):
+        results = SerialExecutor().map_tasks([("a", lambda: 1), ("b", lambda: 2)])
+        assert results == {"a": 1, "b": 2}
+
+    def test_threaded_executor(self):
+        results = ThreadedExecutor(workers=2).map_tasks(
+            [(str(i), (lambda i=i: i * i)) for i in range(5)])
+        assert results == {str(i): i * i for i in range(5)}
+
+    def test_threaded_executor_propagates_errors(self):
+        def boom():
+            raise RuntimeError("boom")
+        with pytest.raises(RuntimeError):
+            ThreadedExecutor(workers=2).map_tasks([("x", boom)])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(workers=0)

@@ -1,0 +1,131 @@
+"""Tests for repro.datamodel.relation."""
+
+import pytest
+
+from repro.datamodel import Relation, coauthor_from_authored
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        relation = Relation("authored", arity=2)
+        relation.add("a1", "p1")
+        assert relation.contains("a1", "p1")
+        assert not relation.contains("p1", "a1")
+        assert len(relation) == 1
+
+    def test_add_is_idempotent(self):
+        relation = Relation("authored", arity=2)
+        relation.add("a1", "p1")
+        relation.add("a1", "p1")
+        assert len(relation) == 1
+
+    def test_symmetric_canonicalisation(self):
+        relation = Relation("coauthor", arity=2, symmetric=True)
+        relation.add("b", "a")
+        assert relation.contains("a", "b")
+        assert relation.contains("b", "a")
+        assert len(relation) == 1
+
+    def test_symmetric_requires_binary(self):
+        with pytest.raises(ValueError):
+            Relation("bad", arity=3, symmetric=True)
+
+    def test_arity_enforced(self):
+        relation = Relation("authored", arity=2)
+        with pytest.raises(ValueError):
+            relation.add("a1", "p1", "extra")
+
+    def test_discard(self):
+        relation = Relation("authored", arity=2)
+        relation.add("a1", "p1")
+        relation.discard("a1", "p1")
+        assert len(relation) == 0
+        assert relation.neighbors("a1") == set()
+        relation.discard("a1", "p1")  # discarding again is a no-op
+
+    def test_neighbors(self):
+        relation = Relation("coauthor", arity=2, symmetric=True)
+        relation.add("a", "b")
+        relation.add("a", "c")
+        assert relation.neighbors("a") == {"b", "c"}
+        assert relation.neighbors("b") == {"a"}
+        assert relation.neighbors("zzz") == set()
+
+    def test_participants(self):
+        relation = Relation("coauthor", arity=2, symmetric=True)
+        relation.add("a", "b")
+        assert relation.participants() == {"a", "b"}
+
+    def test_induced_subrelation(self):
+        relation = Relation("coauthor", arity=2, symmetric=True)
+        relation.add("a", "b")
+        relation.add("b", "c")
+        induced = relation.induced({"a", "b"})
+        assert induced.contains("a", "b")
+        assert not induced.contains("b", "c")
+        assert len(induced) == 1
+
+    def test_induced_empty_when_no_tuples_inside(self):
+        relation = Relation("coauthor", arity=2, symmetric=True)
+        relation.add("a", "b")
+        assert len(relation.induced({"c"})) == 0
+
+    def test_union(self):
+        first = Relation("coauthor", arity=2, symmetric=True)
+        first.add("a", "b")
+        second = Relation("coauthor", arity=2, symmetric=True)
+        second.add("b", "c")
+        merged = first.union(second)
+        assert len(merged) == 2
+
+    def test_union_signature_mismatch(self):
+        first = Relation("coauthor", arity=2, symmetric=True)
+        second = Relation("cites", arity=2)
+        with pytest.raises(ValueError):
+            first.union(second)
+
+    def test_copy_is_independent(self):
+        relation = Relation("coauthor", arity=2, symmetric=True)
+        relation.add("a", "b")
+        clone = relation.copy()
+        clone.add("c", "d")
+        assert len(relation) == 1
+        assert len(clone) == 2
+
+    def test_equality(self):
+        first = Relation("coauthor", arity=2, symmetric=True)
+        first.add("a", "b")
+        second = Relation("coauthor", arity=2, symmetric=True)
+        second.add("b", "a")
+        assert first == second
+
+
+class TestCoauthorFromAuthored:
+    def test_self_join(self):
+        authored = Relation("authored", arity=2)
+        authored.add("a1", "p1")
+        authored.add("a2", "p1")
+        authored.add("a3", "p2")
+        coauthor = coauthor_from_authored(authored)
+        assert coauthor.contains("a1", "a2")
+        assert not coauthor.contains("a1", "a3")
+        assert coauthor.symmetric
+
+    def test_three_authors_make_three_edges(self):
+        authored = Relation("authored", arity=2)
+        for author in ("a1", "a2", "a3"):
+            authored.add(author, "p1")
+        coauthor = coauthor_from_authored(authored)
+        assert len(coauthor) == 3
+
+    def test_duplicate_authorship_ignored(self):
+        authored = Relation("authored", arity=2)
+        authored.add("a1", "p1")
+        authored.add("a1", "p1")
+        authored.add("a2", "p1")
+        coauthor = coauthor_from_authored(authored)
+        assert len(coauthor) == 1
+
+    def test_requires_binary_relation(self):
+        with pytest.raises(ValueError):
+            coauthor_from_authored(Relation("authored", arity=3))

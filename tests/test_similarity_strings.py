@@ -1,0 +1,131 @@
+"""Tests for the string similarity measures (levenshtein, jaro, jaccard, ngram)."""
+
+import pytest
+
+from repro.similarity import (
+    character_ngrams,
+    damerau_levenshtein_distance,
+    damerau_levenshtein_similarity,
+    dice_coefficient,
+    jaccard,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_jaccard,
+    ngram_similarity,
+    overlap_coefficient,
+    token_jaccard,
+    word_tokens,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("smith", "smith") == 0
+        assert levenshtein_similarity("smith", "smith") == 1.0
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("flaw", "lawn") == 2
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcdef", "azced") == levenshtein_distance("azced", "abcdef")
+
+    def test_similarity_range(self):
+        score = levenshtein_similarity("smith", "smyth")
+        assert 0.0 < score < 1.0
+
+    def test_damerau_counts_transposition_as_one(self):
+        assert levenshtein_distance("ca", "ac") == 2
+        assert damerau_levenshtein_distance("ca", "ac") == 1
+
+    def test_damerau_similarity(self):
+        assert damerau_levenshtein_similarity("jonh", "john") > levenshtein_similarity("jonh", "john") - 1e-9
+
+
+class TestJaro:
+    def test_identical_and_empty(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("abc", "") == 0.0
+
+    def test_known_value_martha_marhta(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_known_value_dixon_dicksonx(self):
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.767, abs=1e-3)
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_jaro_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("martha", "marhta")
+        winkler = jaro_winkler_similarity("martha", "marhta")
+        assert winkler > plain
+        assert winkler == pytest.approx(0.961, abs=1e-3)
+
+    def test_jaro_winkler_bounded_by_one(self):
+        assert jaro_winkler_similarity("aaaa", "aaaa") == 1.0
+
+    def test_jaro_winkler_prefix_weight_validation(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+    def test_symmetry(self):
+        assert jaro_winkler_similarity("smith", "smyth") == pytest.approx(
+            jaro_winkler_similarity("smyth", "smith"))
+
+
+class TestNgrams:
+    def test_character_ngrams_padding(self):
+        grams = character_ngrams("ab", n=2)
+        assert "#a" in grams and "b#" in grams
+
+    def test_character_ngrams_no_padding(self):
+        assert character_ngrams("abc", n=2, pad=False) == ["ab", "bc"]
+
+    def test_short_string(self):
+        assert character_ngrams("a", n=3, pad=False) == ["a"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            character_ngrams("abc", n=0)
+
+    def test_ngram_similarity_identical(self):
+        assert ngram_similarity("smith", "smith") == 1.0
+
+    def test_ngram_similarity_disjoint(self):
+        assert ngram_similarity("aaa", "zzz") == 0.0
+
+    def test_word_tokens(self):
+        assert word_tokens("Hello, World! 42") == ["hello", "world", "42"]
+        assert word_tokens("") == []
+
+
+class TestSetSimilarities:
+    def test_jaccard(self):
+        assert jaccard("ab", "ab") == 1.0
+        assert jaccard("abc", "abd") == pytest.approx(0.5)
+        assert jaccard([], []) == 1.0
+        assert jaccard("ab", "cd") == 0.0
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient("abc", "ab") == 1.0
+        assert overlap_coefficient([], ["x"]) == 0.0
+
+    def test_dice(self):
+        assert dice_coefficient("ab", "ab") == 1.0
+        assert dice_coefficient([], []) == 1.0
+
+    def test_token_jaccard(self):
+        assert token_jaccard("entity matching", "matching entity") == 1.0
+        assert token_jaccard("entity matching", "record linkage") == 0.0
+
+    def test_ngram_jaccard_typo_robust(self):
+        assert ngram_jaccard("jonathan", "jonathon") > 0.5

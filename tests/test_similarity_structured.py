@@ -1,0 +1,169 @@
+"""Tests for tfidf, phonetic, discretisation, author-name similarity and the registry."""
+
+import pytest
+
+from repro.similarity import (
+    AuthorNameSimilarity,
+    DEFAULT_LEVELS,
+    SimilarityLevels,
+    TfIdfVectorizer,
+    author_name_similarity,
+    available,
+    cosine_similarity,
+    discretize,
+    get,
+    initials_compatible,
+    is_initial,
+    metaphone_key,
+    normalize_name_part,
+    phonetic_equal,
+    register,
+    soundex,
+    tfidf_cosine,
+)
+
+
+class TestTfIdf:
+    def test_fit_transform_shapes(self):
+        corpus = ["john smith", "jon smith", "mary jones"]
+        vectorizer = TfIdfVectorizer()
+        vectors = vectorizer.fit_transform(corpus)
+        assert len(vectors) == 3
+        assert vectorizer.vocabulary_size > 0
+
+    def test_vectors_are_normalised(self):
+        vectorizer = TfIdfVectorizer().fit(["john smith", "mary jones"])
+        vector = vectorizer.transform("john smith")
+        norm = sum(w * w for w in vector.values())
+        assert norm == pytest.approx(1.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfIdfVectorizer().transform("john")
+
+    def test_cosine_identity_and_disjoint(self):
+        vectorizer = TfIdfVectorizer().fit(["john smith", "xavier yu"])
+        john = vectorizer.transform("john smith")
+        xavier = vectorizer.transform("xavier yu")
+        assert cosine_similarity(john, john) == pytest.approx(1.0)
+        assert cosine_similarity(john, xavier) == pytest.approx(0.0)
+
+    def test_tfidf_cosine_helper(self):
+        assert tfidf_cosine("john smith", "john smith") == pytest.approx(1.0)
+        assert tfidf_cosine("john smith", "jon smith") > 0.3
+
+
+class TestPhonetic:
+    def test_soundex_known_codes(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == soundex("Ashcroft")
+
+    def test_soundex_empty(self):
+        assert soundex("") == "0000"
+
+    def test_soundex_padding(self):
+        assert len(soundex("Lee")) == 4
+
+    def test_phonetic_equal(self):
+        assert phonetic_equal("Smith", "Smyth")
+        assert not phonetic_equal("Smith", "Jones")
+
+    def test_metaphone_key_basic(self):
+        assert metaphone_key("Philip") == metaphone_key("Filip")
+        assert metaphone_key("") == ""
+
+
+class TestDiscretize:
+    def test_default_levels_ordering(self):
+        assert discretize(0.99) == 3
+        assert discretize(DEFAULT_LEVELS.medium + 0.001) == 2
+        assert discretize(DEFAULT_LEVELS.low + 0.001) == 1
+        assert discretize(0.2) == 0
+
+    def test_boundaries_inclusive(self):
+        levels = SimilarityLevels(low=0.5, medium=0.7, high=0.9)
+        assert levels.level(0.5) == 1
+        assert levels.level(0.7) == 2
+        assert levels.level(0.9) == 3
+
+    def test_is_candidate(self):
+        levels = SimilarityLevels(low=0.5, medium=0.7, high=0.9)
+        assert levels.is_candidate(0.6)
+        assert not levels.is_candidate(0.4)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            SimilarityLevels(low=0.9, medium=0.5, high=0.95)
+
+
+class TestAuthorNameSimilarity:
+    def test_identical_full_names(self):
+        assert author_name_similarity(("John", "Smith"), ("John", "Smith")) == pytest.approx(1.0)
+
+    def test_identical_abbreviated_names_are_level3(self):
+        score = author_name_similarity(("J.", "Smith"), ("J.", "Smith"))
+        assert DEFAULT_LEVELS.level(score) == 3
+
+    def test_initial_vs_full_is_ambiguous_level(self):
+        score = author_name_similarity(("John", "Smith"), ("J.", "Smith"))
+        assert DEFAULT_LEVELS.level(score) in (1, 2)
+
+    def test_incompatible_initials_veto(self):
+        score = author_name_similarity(("J.", "Smith"), ("M.", "Smith"))
+        assert DEFAULT_LEVELS.level(score) == 0
+
+    def test_different_last_names_low(self):
+        score = author_name_similarity(("John", "Smith"), ("John", "Keller"))
+        assert score < 0.8
+
+    def test_symmetry(self):
+        forward = author_name_similarity(("John", "Smith"), ("J.", "Smith"))
+        backward = author_name_similarity(("J.", "Smith"), ("John", "Smith"))
+        assert forward == pytest.approx(backward)
+
+    def test_missing_first_name_is_weak_not_veto(self):
+        score = author_name_similarity(("", "Smith"), ("John", "Smith"))
+        assert 0.5 < score < 1.0
+
+    def test_helpers(self):
+        assert normalize_name_part(" J. ") == "j"
+        assert is_initial("J.")
+        assert not is_initial("Jo")
+        assert initials_compatible("John", "J.")
+        assert not initials_compatible("John", "M.")
+        assert not initials_compatible("", "J.")
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            AuthorNameSimilarity(last_name_weight=1.5)
+
+    def test_score_entities(self, hepth_dataset):
+        authors = hepth_dataset.store.entities_of_type("author")[:2]
+        measure = AuthorNameSimilarity()
+        score = measure.score_entities(authors[0], authors[1])
+        assert 0.0 <= score <= 1.0
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available()
+        for expected in ("jaro", "jaro_winkler", "levenshtein", "ngram"):
+            assert expected in names
+
+    def test_get_and_call(self):
+        function = get("jaro_winkler")
+        assert function("smith", "smith") == 1.0
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get("does-not-exist")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register("jaro", lambda a, b: 0.0)
+
+    def test_register_overwrite_allowed(self):
+        original = get("jaro")
+        register("jaro", original, overwrite=True)
+        assert get("jaro") is original

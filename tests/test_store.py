@@ -1,0 +1,156 @@
+"""Tests for repro.datamodel.store."""
+
+import pytest
+
+from repro.datamodel import (
+    EntityPair,
+    EntityStore,
+    Relation,
+    make_author,
+    make_paper,
+)
+from repro.exceptions import UnknownEntityError, UnknownRelationError
+
+
+def build_store() -> EntityStore:
+    store = EntityStore()
+    store.add_entities([
+        make_author("a1", "Ada", "Lovelace"),
+        make_author("a2", "A.", "Lovelace"),
+        make_author("b1", "Charles", "Babbage"),
+        make_paper("p1", title="Analytical Engine"),
+    ])
+    authored = Relation("authored", arity=2)
+    authored.add("a1", "p1")
+    authored.add("b1", "p1")
+    store.add_relation(authored)
+    store.derive_coauthor("authored")
+    store.add_similarity(EntityPair.of("a1", "a2"), 0.93, 2)
+    return store
+
+
+class TestEntities:
+    def test_lookup(self):
+        store = build_store()
+        assert store.entity("a1")["fname"] == "Ada"
+        assert store.has_entity("a1")
+        assert not store.has_entity("zzz")
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(UnknownEntityError):
+            build_store().entity("zzz")
+
+    def test_len_and_iteration(self):
+        store = build_store()
+        assert len(store) == 4
+        assert {e.entity_id for e in store} == {"a1", "a2", "b1", "p1"}
+
+    def test_entities_of_type(self):
+        store = build_store()
+        assert {e.entity_id for e in store.entities_of_type("author")} == {"a1", "a2", "b1"}
+        assert {e.entity_id for e in store.entities_of_type("paper")} == {"p1"}
+
+    def test_conflicting_reregistration_rejected(self):
+        store = build_store()
+        with pytest.raises(ValueError):
+            store.add_entity(make_author("a1", "Different", "Person"))
+
+    def test_identical_reregistration_allowed(self):
+        store = build_store()
+        store.add_entity(make_author("a1", "Ada", "Lovelace"))
+        assert len(store) == 4
+
+
+class TestRelations:
+    def test_relation_lookup(self):
+        store = build_store()
+        assert store.relation("authored").contains("a1", "p1")
+        assert store.has_relation("coauthor")
+        assert not store.has_relation("cites")
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(UnknownRelationError):
+            build_store().relation("cites")
+
+    def test_derive_coauthor(self):
+        store = build_store()
+        assert store.relation("coauthor").contains("a1", "b1")
+
+    def test_relation_names_sorted(self):
+        assert build_store().relation_names() == ["authored", "coauthor"]
+
+
+class TestSimilarity:
+    def test_similarity_roundtrip(self):
+        store = build_store()
+        edge = store.similarity(EntityPair.of("a1", "a2"))
+        assert edge is not None
+        assert edge.level == 2
+        assert store.similarity_level(EntityPair.of("a1", "a2")) == 2
+
+    def test_missing_similarity(self):
+        store = build_store()
+        assert store.similarity(EntityPair.of("a1", "b1")) is None
+        assert store.similarity_level(EntityPair.of("a1", "b1")) == 0
+
+    def test_similar_pairs_index(self):
+        store = build_store()
+        assert store.similar_pairs() == {EntityPair.of("a1", "a2")}
+        assert store.similar_pairs_of("a1") == {EntityPair.of("a1", "a2")}
+        assert store.similar_pairs_of("b1") == frozenset()
+
+    def test_similarity_requires_known_entities(self):
+        store = build_store()
+        with pytest.raises(UnknownEntityError):
+            store.add_similarity(EntityPair.of("a1", "zzz"), 0.9, 1)
+
+    def test_invalid_level_rejected(self):
+        store = build_store()
+        with pytest.raises(ValueError):
+            store.add_similarity(EntityPair.of("a1", "b1"), 0.9, 7)
+
+    def test_invalid_score_rejected(self):
+        store = build_store()
+        with pytest.raises(ValueError):
+            store.add_similarity(EntityPair.of("a1", "b1"), 1.5, 1)
+
+
+class TestRestrict:
+    def test_restrict_keeps_induced_relations(self):
+        store = build_store()
+        restricted = store.restrict({"a1", "a2", "p1"})
+        assert len(restricted) == 3
+        assert restricted.relation("authored").contains("a1", "p1")
+        # b1 was excluded so the coauthor tuple disappears.
+        assert len(restricted.relation("coauthor")) == 0
+
+    def test_restrict_keeps_inner_similarities_only(self):
+        store = build_store()
+        restricted = store.restrict({"a1", "a2"})
+        assert restricted.similar_pairs() == {EntityPair.of("a1", "a2")}
+        restricted_without = store.restrict({"a1", "b1"})
+        assert restricted_without.similar_pairs() == frozenset()
+
+    def test_restrict_unknown_entity(self):
+        with pytest.raises(UnknownEntityError):
+            build_store().restrict({"a1", "nope"})
+
+
+class TestMisc:
+    def test_related_entities(self):
+        store = build_store()
+        assert store.related_entities("a1") == {"p1", "b1"}
+        assert store.related_entities("a1", ["coauthor"]) == {"b1"}
+
+    def test_copy_independent(self):
+        store = build_store()
+        clone = store.copy()
+        clone.add_entity(make_author("zz", "New", "Author"))
+        assert not store.has_entity("zz")
+        assert clone.similar_pairs() == store.similar_pairs()
+
+    def test_stats(self):
+        stats = build_store().stats()
+        assert stats["entities"] == 4
+        assert stats["similar_pairs"] == 1
+        assert stats["relations"] == 2
