@@ -34,6 +34,7 @@ from .datasets import (
 )
 from .evaluation import evaluate_cover, format_key_values, format_table, precision_recall_f1
 from .matchers import MLNMatcher, PairwiseMatcher, RulesMatcher
+from .parallel import EXECUTOR_KINDS
 from .similarity import available as available_similarities
 
 _PRESETS = {
@@ -73,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("--dataset", type=Path, required=True)
     match.add_argument("--matcher", choices=sorted(_MATCHERS), default="mln")
     match.add_argument("--scheme", choices=["no-mp", "smp", "mmp", "full"], default="smp")
+    match.add_argument("--executor", choices=list(EXECUTOR_KINDS), default=None,
+                       help="run through the round-based grid executor with this "
+                            "map-phase engine (not available with --scheme full); "
+                            "omit for the plain sequential scheme")
+    match.add_argument("--workers", type=int, default=None,
+                       help="pool size for --executor threads/processes")
     match.add_argument("--output", type=Path, default=None,
                        help="write resolved clusters to this JSON file")
 
@@ -117,13 +124,25 @@ def _command_match(args: argparse.Namespace) -> int:
     if args.scheme == "mmp" and not matcher.is_probabilistic:
         raise SystemExit(f"matcher {args.matcher!r} is not probabilistic; "
                          "mmp requires a Type-II matcher")
-    result = framework.run(args.scheme)
+    if args.workers is not None:
+        if args.executor is None:
+            raise SystemExit("--workers requires --executor")
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+    if args.executor is not None:
+        if args.scheme == "full":
+            raise SystemExit("--executor runs the round-based grid; "
+                             "it does not apply to --scheme full")
+        result = framework.run_grid(args.scheme, executor=args.executor,
+                                    workers=args.workers).to_scheme_result()
+    else:
+        result = framework.run(args.scheme)
 
     closed = MatchSet(result.matches).transitive_closure()
     metrics = precision_recall_f1(closed.pairs, dataset.true_matches())
     rows = [{
         "matcher": args.matcher,
-        "scheme": args.scheme,
+        "scheme": result.scheme,
         "matches": len(result.matches),
         "precision": round(metrics.precision, 3),
         "recall": round(metrics.recall, 3),

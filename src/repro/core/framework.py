@@ -109,6 +109,26 @@ class EMFramework:
                                                 ground_truth)
         return UpperBoundScheme().run(self.matcher, self.store, ground_truth)
 
+    def run_grid(self, scheme: str = "smp", executor=None,
+                 workers: Optional[int] = None, max_rounds: int = 50,
+                 compute_messages_once: bool = True):
+        """Run a scheme on the round-based grid executor (Section 6.3).
+
+        ``executor`` picks the map-phase engine: an
+        :class:`~repro.parallel.executor.Executor` instance, a spec string
+        (``"serial"``, ``"threads"``, ``"processes"``), or ``None`` for
+        serial.  Whatever the executor, the returned
+        :class:`~repro.parallel.grid.GridRunResult` carries the same match
+        set as the corresponding sequential scheme; ``workers`` sizes the
+        pool when ``executor`` is a spec string.
+        """
+        # Imported lazily: repro.parallel itself imports from repro.core.
+        from ..parallel.grid import GridExecutor
+        grid = GridExecutor(scheme=scheme, max_rounds=max_rounds,
+                            compute_messages_once=compute_messages_once,
+                            executor=executor, workers=workers)
+        return grid.run(self.matcher, self.store, self.cover)
+
     def run(self, scheme: str, **kwargs) -> SchemeResult:
         """Run a scheme selected by name (``"no-mp"``, ``"smp"``, ``"mmp"``, ``"full"``)."""
         normalized = scheme.lower().replace("_", "-")

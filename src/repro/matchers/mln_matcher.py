@@ -68,6 +68,15 @@ class MLNMatcher(TypeIIMatcher):
     def clear_cache(self) -> None:
         self._network_cache.clear()
 
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self):
+        # The network cache is keyed on id(store), which is meaningless in
+        # another process, and shipping ground networks would dwarf the task
+        # payload — the worker re-grounds its (small) neighborhood store.
+        state = self.__dict__.copy()
+        state["_network_cache"] = {}
+        return state
+
     # -------------------------------------------------------------- matching
     def match(self, store: EntityStore,
               evidence: Optional[Evidence] = None) -> FrozenSet[EntityPair]:

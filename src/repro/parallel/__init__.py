@@ -1,15 +1,30 @@
 """Parallel (grid) execution of the framework (Section 6.3)."""
 
-from .executor import SerialExecutor, ThreadedExecutor
+from .executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
 from .grid import GridExecutor, GridRunResult
 from .partitioner import lpt_partition, makespan, random_partition, skew, total_work
+from .tasks import MapResult, MapTask, execute_map_task
 
 __all__ = [
+    "EXECUTOR_KINDS",
+    "Executor",
     "GridExecutor",
     "GridRunResult",
+    "MapResult",
+    "MapTask",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "execute_map_task",
     "lpt_partition",
+    "make_executor",
     "makespan",
     "random_partition",
     "skew",

@@ -1,50 +1,207 @@
-"""Local executors for the map phase of a round.
+"""Pluggable executors for the map phase of a round.
 
-The grid simulation in :mod:`repro.parallel.grid` performs the actual matcher
-computation locally.  By default it runs tasks serially; these executors let
-the map phase of a round be dispatched to a thread pool instead, which is
-useful when the black-box matcher releases the GIL (e.g. a matcher shelling
-out to an external process) and harmless otherwise.
+The grid in :mod:`repro.parallel.grid` performs each round's per-neighborhood
+matcher computation through one of these executors:
 
-The executors work on generic ``(name, callable)`` tasks so they can also be
-used directly by applications that want to parallelise their own
-per-neighborhood work.
+* :class:`SerialExecutor` — one task after another, in submission order; the
+  default and the reference behaviour every other executor must reproduce.
+* :class:`ThreadedExecutor` — a thread pool; useful when the black-box matcher
+  releases the GIL (e.g. a matcher shelling out to an external process or
+  native code) and harmless otherwise.
+* :class:`ProcessExecutor` — a process pool; real CPU parallelism for pure
+  Python matchers, at the cost of pickling each task's payload to the worker.
+
+All executors consume generic ``(name, callable)`` tasks and return results
+keyed by task name, so applications can also drive their own per-neighborhood
+work through them.  :class:`ProcessExecutor` additionally requires each
+callable (and its return value) to be picklable — a module-level function
+wrapped with :func:`functools.partial` over picklable arguments, as
+:func:`repro.parallel.tasks.execute_map_task` is used by the grid.
+
+Pool-backed executors create a fresh pool per :meth:`~Executor.map_tasks`
+call by default.  To amortise pool start-up across calls (the grid issues one
+call per round), use the executor as a context manager::
+
+    with ProcessExecutor(workers=8) as executor:
+        GridExecutor(scheme="mmp", executor=executor).run(matcher, store, cover)
+
+Failure semantics are uniform across executors: the first task failure (in
+completion order) propagates to the caller, all not-yet-started tasks are
+cancelled, and partial results are discarded.  Tasks already running when the
+failure surfaces do complete, but their results are dropped.
 """
 
 from __future__ import annotations
 
+import abc
 import concurrent.futures
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+import os
+from typing import Callable, ClassVar, Dict, Optional, Sequence, Tuple, TypeVar
+
+from ..exceptions import ExperimentError
 
 ResultT = TypeVar("ResultT")
 NamedTask = Tuple[str, Callable[[], ResultT]]
 
+#: Spec strings accepted by :func:`make_executor` (and the CLI's ``--executor``).
+EXECUTOR_KINDS = ("serial", "threads", "processes")
 
-class SerialExecutor:
-    """Runs tasks one after another (the default, and fully deterministic)."""
+
+class Executor(abc.ABC):
+    """Executes a batch of named tasks and returns their results by name.
+
+    Executors are context managers: ``with`` keeps any backing worker pool
+    alive across :meth:`map_tasks` calls and releases it on exit.  Outside a
+    ``with`` block the serial executor needs no resources and the pool-backed
+    executors fall back to a one-shot pool per call.
+    """
+
+    #: Spec string identifying the executor family (``"serial"``, ...).
+    kind: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def map_tasks(self, tasks: Sequence[NamedTask]) -> Dict[str, ResultT]:
+        """Execute all tasks and return their results keyed by task name.
+
+        Raises the first failure (in completion order) after cancelling every
+        task that has not started; partial results are discarded.
+        """
+
+    def close(self) -> None:
+        """Release any backing worker pool (idempotent; no-op by default)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(kind={self.kind!r})"
+
+
+class SerialExecutor(Executor):
+    """Runs tasks one after another, in order (fully deterministic)."""
+
+    kind = "serial"
 
     def map_tasks(self, tasks: Sequence[NamedTask]) -> Dict[str, ResultT]:
-        """Execute all tasks and return their results keyed by task name."""
         return {name: task() for name, task in tasks}
 
 
-class ThreadedExecutor:
-    """Runs tasks in a thread pool of ``workers`` threads.
+class _PoolExecutor(Executor):
+    """Shared submit/collect/cancel logic for pool-backed executors."""
 
-    Results are collected into a dict keyed by task name; exceptions raised by
-    a task propagate to the caller (the first one encountered), matching the
-    behaviour of the serial executor.
-    """
-
-    def __init__(self, workers: int = 4):
+    def __init__(self, workers: int):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self._pool: Optional[concurrent.futures.Executor] = None
+        self._depth = 0
+
+    @abc.abstractmethod
+    def _make_pool(self) -> concurrent.futures.Executor:
+        """Create the backing pool with ``self.workers`` workers."""
 
     def map_tasks(self, tasks: Sequence[NamedTask]) -> Dict[str, ResultT]:
+        if self._pool is not None:
+            return self._collect(self._pool, tasks)
+        with self._make_pool() as pool:
+            return self._collect(pool, tasks)
+
+    @staticmethod
+    def _collect(pool: concurrent.futures.Executor,
+                 tasks: Sequence[NamedTask]) -> Dict[str, ResultT]:
         results: Dict[str, ResultT] = {}
-        with concurrent.futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = {pool.submit(task): name for name, task in tasks}
+        futures = {pool.submit(task): name for name, task in tasks}
+        try:
             for future in concurrent.futures.as_completed(futures):
                 results[futures[future]] = future.result()
+        except BaseException:
+            # First failure wins: cancel everything not yet started and
+            # propagate.  Running tasks finish but their results are dropped.
+            for pending in futures:
+                pending.cancel()
+            raise
         return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._depth = 0
+
+    def __enter__(self) -> "Executor":
+        if self._pool is None:
+            self._pool = self._make_pool()
+        self._depth += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._depth -= 1
+        if self._depth <= 0:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadedExecutor(_PoolExecutor):
+    """Runs tasks in a thread pool of ``workers`` threads.
+
+    Results are collected into a dict keyed by task name.  On the first task
+    failure (in completion order) every not-yet-started task is cancelled, the
+    partial results are discarded, and the failing task's exception propagates
+    to the caller.  Cancellation is best-effort — workers may dequeue a few
+    more tasks while the failure surfaces — but a failing round never drains
+    the whole remaining batch.
+    """
+
+    kind = "threads"
+
+    def __init__(self, workers: int = 4):
+        super().__init__(workers)
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Runs tasks in a process pool of ``workers`` processes.
+
+    Task callables and their results cross a process boundary, so both must
+    be picklable: use module-level functions (optionally wrapped with
+    :func:`functools.partial`) over picklable payloads, never lambdas or
+    closures.  The grid satisfies this by shipping
+    :class:`repro.parallel.tasks.MapTask` payloads.
+
+    Failure semantics match :class:`ThreadedExecutor`: first failure wins,
+    outstanding tasks are cancelled, partial results are discarded.
+    """
+
+    kind = "processes"
+
+    def __init__(self, workers: Optional[int] = None, mp_context=None):
+        super().__init__(workers if workers is not None else (os.cpu_count() or 1))
+        self.mp_context = mp_context
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self.mp_context)
+
+
+def make_executor(kind: str, workers: Optional[int] = None) -> Executor:
+    """Build an executor from a spec string (``serial``/``threads``/``processes``).
+
+    ``workers`` is ignored by the serial executor; the others fall back to
+    their own defaults when it is ``None``.
+    """
+    normalized = kind.lower()
+    if normalized == "serial":
+        return SerialExecutor()
+    if normalized == "threads":
+        return ThreadedExecutor(workers) if workers is not None else ThreadedExecutor()
+    if normalized == "processes":
+        return ProcessExecutor(workers)
+    raise ExperimentError(
+        f"unknown executor kind {kind!r}; known kinds: {EXECUTOR_KINDS}")

@@ -3,36 +3,44 @@
 Section 6.3 parallelises message passing in rounds: every active neighborhood
 is processed in parallel (the Map), the new evidence is collected (the
 Reduce), and the next round's active set is derived from it.  The paper runs
-this on a 30-machine Hadoop grid; here the *computation* is performed locally
-(and exactly — the match results are identical to the sequential schemes,
-because the schemes are consistent) while the *wall-clock* of a grid of ``W``
-machines is simulated from the measured per-neighborhood durations:
+this on a 30-machine Hadoop grid; here the map phase is dispatched through a
+pluggable :class:`~repro.parallel.executor.Executor` — serial, thread pool or
+process pool — against an immutable evidence snapshot, and the reduce phase
+merges per-neighborhood results in deterministic (sorted-name) order, so all
+executors produce match sets identical to the sequential schemes (the schemes
+are consistent, Theorem 2).
 
-* each round's neighborhoods are randomly assigned to the ``W`` workers
-  (statistical skew included, as in the paper),
-* the round takes as long as its most loaded worker, plus a fixed per-round
-  overhead modelling job setup on the grid.
+Two complementary views of grid wall-clock come out of one run:
 
-Running the executor once records the per-round task durations;
-:meth:`GridRunResult.simulated_wall_clock` can then be evaluated for any
-number of machines, which is how the Table-1 bench compares 1 vs 30 machines
-from a single run.
+* the *measured* ``elapsed_seconds`` of the run under the chosen executor
+  (real speedup on this machine), and
+* the *simulated* wall-clock of a grid of ``W`` machines, evaluated from the
+  recorded per-neighborhood durations: each round's neighborhoods are randomly
+  assigned to the ``W`` workers (statistical skew included, as in the paper)
+  and the round takes as long as its most loaded worker, plus a fixed
+  per-round overhead modelling job setup on the grid.
+  :meth:`GridRunResult.simulated_wall_clock` can be evaluated for any machine
+  count, which is how the Table-1 bench compares 1 vs 30 machines from a
+  single run.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from functools import partial
+from typing import FrozenSet, List, Optional, Set, Union
 
 from ..blocking import Cover
-from ..core import NeighborhoodRunner, SchemeResult, compute_maximal_messages
+from ..core import NeighborhoodRunner, SchemeResult
 from ..core.messages import MaximalMessageSet
 from ..core.mmp import SCORE_TOLERANCE
-from ..datamodel import EntityPair, EntityStore
+from ..datamodel import EntityPair, EntityStore, Evidence
 from ..exceptions import ExperimentError, MatcherError
 from ..matchers import TypeIIMatcher, TypeIMatcher
+from .executor import Executor, NamedTask, SerialExecutor, make_executor
 from .partitioner import Task, lpt_partition, makespan, random_partition, total_work
+from .tasks import MapResult, MapTask, execute_map_task
 
 
 @dataclass
@@ -45,18 +53,29 @@ class GridRunResult:
     rounds: List[List[Task]] = field(default_factory=list)
     neighborhood_runs: int = 0
     elapsed_seconds: float = 0.0
+    executor: str = "serial"
 
     @property
     def round_count(self) -> int:
         return len(self.rounds)
 
     def total_compute_seconds(self) -> float:
-        """Total matcher compute across all rounds (single-machine work)."""
+        """Total matcher compute across all rounds (single-machine work).
+
+        Only meaningful for a run under the serial executor: durations are
+        measured inside whichever executor ran the tasks, so a concurrent run
+        inflates them with GIL/scheduler contention.
+        """
         return sum(total_work(tasks) for tasks in self.rounds)
 
     def simulated_wall_clock(self, workers: int, per_round_overhead: float = 0.0,
                              seed: int = 0, strategy: str = "random") -> float:
-        """Simulated wall-clock of running the recorded rounds on ``workers`` machines."""
+        """Simulated wall-clock of running the recorded rounds on ``workers`` machines.
+
+        Use durations recorded by a *serial* run as the input (see
+        :meth:`total_compute_seconds`); simulating a grid from contended
+        thread/process timings overstates per-task compute.
+        """
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if strategy not in ("random", "lpt"):
@@ -95,10 +114,26 @@ class GridRunResult:
 
 
 class GridExecutor:
-    """Round-based executor for NO-MP, SMP and MMP."""
+    """Round-based executor for NO-MP, SMP and MMP with a pluggable map phase.
+
+    ``executor`` selects how each round's active neighborhoods are executed:
+    an :class:`~repro.parallel.executor.Executor` instance, a spec string
+    (``"serial"``, ``"threads"``, ``"processes"``), or ``None`` for serial.
+    Whatever the executor, the produced match set is identical: every task of
+    a round reads the same immutable evidence snapshot and the reduce phase
+    merges results in sorted neighborhood order.
+
+    Each run enters the executor for its duration, so a worker pool is opened
+    once, reused for every round, and released on exit.  A caller-supplied
+    executor that is already inside a ``with executor:`` block keeps its pool
+    across runs (entry is re-entrant); a pool the caller opened is never
+    closed here.
+    """
 
     def __init__(self, scheme: str = "smp", max_rounds: int = 50,
-                 compute_messages_once: bool = True):
+                 compute_messages_once: bool = True,
+                 executor: Union[Executor, str, None] = None,
+                 workers: Optional[int] = None):
         normalized = scheme.lower().replace("_", "-")
         if normalized not in ("no-mp", "nomp", "smp", "mmp"):
             raise ExperimentError(f"unknown grid scheme {scheme!r}")
@@ -107,11 +142,20 @@ class GridExecutor:
             raise ValueError("max_rounds must be >= 1")
         self.max_rounds = max_rounds
         self.compute_messages_once = compute_messages_once
+        if executor is None:
+            self.executor: Executor = SerialExecutor()
+        elif isinstance(executor, str):
+            self.executor = make_executor(executor, workers)
+        else:
+            self.executor = executor
 
     # -------------------------------------------------------------------- run
     def run(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover) -> GridRunResult:
         if self.scheme == "mmp" and not isinstance(matcher, TypeIIMatcher):
             raise MatcherError("the mmp grid scheme requires a Type-II matcher")
+        # The runner is used only to build (and cache across rounds) the
+        # restricted neighborhood stores; the matcher calls themselves happen
+        # inside the map tasks.
         runner = NeighborhoodRunner(matcher, store, cover)
         started = time.perf_counter()
 
@@ -120,43 +164,56 @@ class GridExecutor:
         probed: Set[str] = set()
         active: Set[str] = set(cover.names())
         rounds: List[List[Task]] = []
+        neighborhood_runs = 0
 
-        for _ in range(self.max_rounds):
-            if not active:
-                break
-            round_tasks: List[Task] = []
-            round_new: Set[EntityPair] = set()
-            evidence_snapshot = frozenset(matches)
+        with self.executor:
+            for _ in range(self.max_rounds):
+                if not active:
+                    break
+                evidence_snapshot = frozenset(matches)
 
-            # Map phase: every active neighborhood runs against the snapshot.
-            for name in sorted(active):
-                task_started = time.perf_counter()
-                found = runner.run(name, positive=evidence_snapshot)
-                new_matches = found - matches - round_new
-                round_new |= found - evidence_snapshot
-                if self.scheme == "mmp" and (not self.compute_messages_once or name not in probed):
-                    probed.add(name)
-                    messages = compute_maximal_messages(
-                        runner, name, evidence_matches=evidence_snapshot,
-                        unconditioned_output=found)
-                    message_set.add_all(messages)
-                round_tasks.append((name, time.perf_counter() - task_started))
+                # Map phase: every active neighborhood runs against the
+                # snapshot, dispatched through the pluggable executor.
+                tasks: List[NamedTask] = []
+                for name in sorted(active):
+                    neighborhood_store = runner.neighborhood_store(name)
+                    evidence = Evidence.of(evidence_snapshot).restricted_to(
+                        neighborhood_store.entity_ids())
+                    compute_messages = self.scheme == "mmp" and (
+                        not self.compute_messages_once or name not in probed)
+                    if compute_messages:
+                        probed.add(name)
+                    payload = MapTask(name=name, matcher=matcher,
+                                      store=neighborhood_store,
+                                      evidence=evidence.positive,
+                                      compute_messages=compute_messages)
+                    tasks.append((name, partial(execute_map_task, payload)))
+                results = self.executor.map_tasks(tasks)
 
-            rounds.append(round_tasks)
+                # Reduce phase: merge per-neighborhood results in sorted-name
+                # order (independent of executor completion order), promote
+                # maximal messages (MMP only).
+                round_tasks: List[Task] = []
+                round_new: Set[EntityPair] = set()
+                for name in sorted(results):
+                    result: MapResult = results[name]
+                    round_new |= result.matches - evidence_snapshot
+                    message_set.add_all(result.messages)
+                    neighborhood_runs += result.matcher_calls
+                    round_tasks.append((name, result.duration))
+                rounds.append(round_tasks)
 
-            # Reduce phase: merge evidence, promote maximal messages (MMP only).
-            matches |= round_new
-            if self.scheme == "mmp":
-                round_new |= self._promote_messages(matcher, store, matches, message_set)
+                matches |= round_new
+                if self.scheme == "mmp":
+                    round_new |= self._promote_messages(matcher, store, matches,
+                                                        message_set)
 
-            if self.scheme == "no-mp":
-                active = set()
-            else:
-                newly_decided = round_new
-                if not newly_decided:
+                if self.scheme == "no-mp":
+                    active = set()
+                elif not round_new:
                     active = set()
                 else:
-                    active = set(cover.neighbors_of_pairs(newly_decided))
+                    active = set(cover.neighbors_of_pairs(round_new))
 
         elapsed = time.perf_counter() - started
         return GridRunResult(
@@ -164,8 +221,9 @@ class GridExecutor:
             matcher=matcher.name,
             matches=frozenset(matches),
             rounds=rounds,
-            neighborhood_runs=runner.calls,
+            neighborhood_runs=neighborhood_runs,
             elapsed_seconds=elapsed,
+            executor=self.executor.kind,
         )
 
     # ---------------------------------------------------------------- helpers

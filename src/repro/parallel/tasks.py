@@ -1,0 +1,98 @@
+"""Picklable map-phase payloads for the grid executor.
+
+Section 6.3 runs each round's active neighborhoods as independent map tasks.
+A :class:`MapTask` is one such unit of work, made self-contained so it can be
+executed anywhere — in-process (serial or threaded) or shipped to a worker
+process by :class:`repro.parallel.executor.ProcessExecutor`:
+
+* the *restricted* neighborhood store (small — only the neighborhood's
+  entities and relations travel, never the global store),
+* the evidence snapshot restricted to the neighborhood's entities,
+* the matcher itself (matchers are picklable black boxes; the MLN matcher
+  drops its per-store ground-network cache when pickled).
+
+:func:`execute_map_task` is the module-level entry point the executors call;
+its :class:`MapResult` carries everything the reduce phase needs back: the
+neighborhood's matches, any maximal messages (MMP), the measured duration
+(which feeds the simulated-grid model) and the matcher-call count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from ..core.maximal import compute_maximal_messages
+from ..core.messages import MaximalMessage
+from ..datamodel import EntityPair, EntityStore, Evidence
+from ..matchers import TypeIMatcher
+
+
+@dataclass(frozen=True)
+class MapTask:
+    """One neighborhood's unit of map-phase work (picklable, self-contained)."""
+
+    name: str
+    matcher: TypeIMatcher
+    store: EntityStore
+    evidence: FrozenSet[EntityPair]
+    compute_messages: bool = False
+
+
+@dataclass(frozen=True)
+class MapResult:
+    """What a map task sends back to the reduce phase (picklable)."""
+
+    name: str
+    matches: FrozenSet[EntityPair]
+    messages: Tuple[MaximalMessage, ...]
+    duration: float
+    matcher_calls: int
+
+
+class _TaskRunner:
+    """Duck-typed stand-in for :class:`~repro.core.runner.NeighborhoodRunner`.
+
+    :func:`~repro.core.maximal.compute_maximal_messages` only needs ``run``
+    and ``candidate_pairs``; scoping them to the task's single restricted
+    store keeps the payload independent of the cover and the global store.
+    """
+
+    def __init__(self, matcher: TypeIMatcher, store: EntityStore):
+        self.matcher = matcher
+        self.store = store
+        self.calls = 0
+
+    def run(self, name: str, positive: Iterable[EntityPair] = (),
+            negative: Iterable[EntityPair] = ()) -> FrozenSet[EntityPair]:
+        evidence = Evidence.of(positive, negative).restricted_to(
+            self.store.entity_ids())
+        self.calls += 1
+        return self.matcher.match(self.store, evidence)
+
+    def candidate_pairs(self, name: str) -> FrozenSet[EntityPair]:
+        return self.store.similar_pairs()
+
+
+def execute_map_task(task: MapTask) -> MapResult:
+    """Run one neighborhood against its evidence snapshot (any executor).
+
+    Must stay a module-level function: :class:`ProcessExecutor` pickles
+    ``functools.partial(execute_map_task, task)`` to its workers.
+    """
+    started = time.perf_counter()
+    runner = _TaskRunner(task.matcher, task.store)
+    found = runner.run(task.name, positive=task.evidence)
+    messages: Tuple[MaximalMessage, ...] = ()
+    if task.compute_messages:
+        messages = tuple(compute_maximal_messages(
+            runner, task.name, evidence_matches=task.evidence,
+            unconditioned_output=found))
+    return MapResult(
+        name=task.name,
+        matches=found,
+        messages=messages,
+        duration=time.perf_counter() - started,
+        matcher_calls=runner.calls,
+    )

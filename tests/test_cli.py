@@ -85,3 +85,18 @@ class TestMatch:
         with pytest.raises(SystemExit):
             main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
                   "--scheme", "mmp"])
+
+    def test_match_through_grid_executor(self, dataset_file, capsys):
+        assert main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
+                     "--scheme", "smp", "--executor", "threads", "--workers", "2"]) == 0
+        assert "grid-smp" in capsys.readouterr().out
+
+    def test_unknown_executor_rejected(self, dataset_file):
+        with pytest.raises(SystemExit):
+            main(["match", "--dataset", str(dataset_file),
+                  "--scheme", "smp", "--executor", "hadoop"])
+
+    def test_executor_with_full_scheme_rejected(self, dataset_file):
+        with pytest.raises(SystemExit):
+            main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
+                  "--scheme", "full", "--executor", "serial"])

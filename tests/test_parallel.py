@@ -1,16 +1,22 @@
 """Tests for the parallel grid executor, partitioner and local executors."""
 
+import time
+from functools import partial
+
 import pytest
 
-from repro.core import FullRun, MaximalMessagePassing, SimpleMessagePassing
+from repro.core import EMFramework, FullRun, MaximalMessagePassing, SimpleMessagePassing
 from repro.exceptions import ExperimentError, MatcherError
 from repro.matchers import MLNMatcher, RulesMatcher
 from repro.mln import paper_author_rules
 from repro.parallel import (
+    EXECUTOR_KINDS,
     GridExecutor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     lpt_partition,
+    make_executor,
     makespan,
     random_partition,
     skew,
@@ -131,6 +137,15 @@ class TestGridExecutor:
             GridExecutor(scheme="mmp").run(RulesMatcher(), store, cover)
 
 
+def _square(value):
+    """Module-level so ProcessExecutor can pickle it to workers."""
+    return value * value
+
+
+def _raise_boom():
+    raise RuntimeError("boom")
+
+
 class TestLocalExecutors:
     def test_serial_executor(self):
         results = SerialExecutor().map_tasks([("a", lambda: 1), ("b", lambda: 2)])
@@ -141,12 +156,91 @@ class TestLocalExecutors:
             [(str(i), (lambda i=i: i * i)) for i in range(5)])
         assert results == {str(i): i * i for i in range(5)}
 
+    def test_process_executor(self):
+        with ProcessExecutor(workers=2) as executor:
+            results = executor.map_tasks(
+                [(str(i), partial(_square, i)) for i in range(5)])
+        assert results == {str(i): i * i for i in range(5)}
+
     def test_threaded_executor_propagates_errors(self):
-        def boom():
-            raise RuntimeError("boom")
         with pytest.raises(RuntimeError):
-            ThreadedExecutor(workers=2).map_tasks([("x", boom)])
+            ThreadedExecutor(workers=2).map_tasks([("x", _raise_boom)])
+
+    def test_process_executor_propagates_errors(self):
+        with ProcessExecutor(workers=2) as executor:
+            with pytest.raises(RuntimeError):
+                executor.map_tasks([("x", _raise_boom)])
+
+    def test_threaded_executor_cancels_outstanding_on_first_failure(self):
+        started = []
+
+        def tail(i):
+            started.append(i)
+            time.sleep(0.02)
+            return i
+
+        tasks = [("boom", _raise_boom)] + [
+            (f"t{i}", partial(tail, i)) for i in range(50)]
+        with pytest.raises(RuntimeError, match="boom"):
+            ThreadedExecutor(workers=2).map_tasks(tasks)
+        # The failure surfaces while most of the queue is still pending; the
+        # pending tasks are cancelled rather than drained.
+        assert len(started) < 50
+
+    def test_pool_reuse_via_context_manager(self):
+        with ThreadedExecutor(workers=2) as executor:
+            first = executor.map_tasks([("a", lambda: 1)])
+            second = executor.map_tasks([("b", lambda: 2)])
+        assert (first, second) == ({"a": 1}, {"b": 2})
+        # After close, map_tasks still works with a one-shot pool.
+        assert executor.map_tasks([("c", lambda: 3)]) == {"c": 3}
+
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("threads", 3), ThreadedExecutor)
+        assert make_executor("threads", 3).workers == 3
+        assert isinstance(make_executor("processes", 2), ProcessExecutor)
+        assert set(EXECUTOR_KINDS) == {"serial", "threads", "processes"}
+        with pytest.raises(ExperimentError):
+            make_executor("hadoop")
 
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             ThreadedExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(workers=0)
+
+
+class TestExecutorParity:
+    """Acceptance: every executor reproduces the sequential schemes exactly."""
+
+    @pytest.fixture(scope="class")
+    def framework(self, hepth_dataset, hepth_cover):
+        return EMFramework(MLNMatcher(), hepth_dataset.store, cover=hepth_cover)
+
+    @pytest.fixture(scope="class")
+    def references(self, framework):
+        return {scheme: framework.run(scheme) for scheme in ("no-mp", "smp", "mmp")}
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    @pytest.mark.parametrize("scheme", ["no-mp", "smp", "mmp"])
+    def test_grid_matches_sequential_scheme(self, kind, scheme, hepth_dataset,
+                                            hepth_cover, references):
+        grid = GridExecutor(scheme=scheme, executor=kind, workers=2).run(
+            MLNMatcher(), hepth_dataset.store, hepth_cover)
+        assert grid.matches == references[scheme].matches
+        assert grid.executor == kind
+
+    def test_executor_instance_is_not_closed_by_the_grid(self, hepth_dataset,
+                                                         hepth_cover, references):
+        with ThreadedExecutor(workers=2) as executor:
+            for _ in range(2):  # pool survives across runs
+                grid = GridExecutor(scheme="smp", executor=executor).run(
+                    MLNMatcher(), hepth_dataset.store, hepth_cover)
+                assert grid.matches == references["smp"].matches
+            assert executor._pool is not None
+
+    def test_run_grid_entry_point(self, framework, references):
+        grid = framework.run_grid("smp", executor="threads", workers=2)
+        assert grid.matches == references["smp"].matches
+        assert grid.to_scheme_result().scheme == "grid-smp"
