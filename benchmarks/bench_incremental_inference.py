@@ -1,0 +1,273 @@
+"""Bench: incremental (counting) vs naive MAP inference, cold vs warm starts.
+
+Times :class:`~repro.mln.GreedyCollectiveInference` on a generated
+chicken-and-egg ring neighborhood — the structure where greedy passes probe
+every pair and the group pass expands the whole ring, i.e. where
+``delta_single`` dominates — across the four combinations of
+
+* **engine**: ``naive`` (set-based ``GroundNetwork.delta`` rescans) vs
+  ``counting`` (the :class:`~repro.mln.WorldState` counter engine), and
+* **start**: ``cold`` (every message-passing round infers from scratch) vs
+  ``warm`` (each round seeds the search with the previous round's matches).
+
+It also micro-times a sweep of ``delta_single`` probes over every candidate
+pair in both engines — the paper's "computing PE(S) for a specific S is very
+cheap" claim, and the acceptance gate of this bench.
+
+Results are written to ``BENCH_inference.json`` (schema: ``{bench, config,
+seconds, matches}``) so later PRs have a perf trajectory to compare against.
+
+Run standalone (this is what the CI perf-smoke step does)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_inference.py --config smoke --check
+
+or through pytest together with the other benches::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q -s bench_incremental_inference.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.datamodel import COAUTHOR, EntityPair, EntityStore, Relation, make_author
+from repro.mln import (
+    GreedyCollectiveInference,
+    Grounder,
+    GroundNetwork,
+    Rule,
+    RuleSet,
+    WorldState,
+    atom,
+    database_from_store,
+)
+
+#: Named workload sizes.  ``smoke`` is the CI gate (seconds); ``default`` is
+#: the recorded trajectory point.
+CONFIGS: Dict[str, Dict[str, int]] = {
+    "smoke": {"length": 150, "rounds": 3, "repeats": 2},
+    "default": {"length": 400, "rounds": 4, "repeats": 3},
+}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_inference.json"
+
+
+# ---------------------------------------------------------------- workload
+def ring_rules() -> RuleSet:
+    """Appendix-B-shaped weights that make the ring worth matching only whole."""
+    rules = RuleSet()
+    for level, weight in ((1, -2.28), (2, -3.84), (3, 12.75)):
+        rules.add(Rule(
+            name=f"similar_{level}",
+            body=(atom("similar", "e1", "e2", level),),
+            head=atom("equals", "e1", "e2"),
+            weight=weight,
+        ))
+    rules.add(Rule(
+        name="coauthor",
+        body=(
+            atom("coauthor", "e1", "c1"),
+            atom("coauthor", "e2", "c2"),
+            atom("equals", "c1", "c2"),
+        ),
+        head=atom("equals", "e1", "e2"),
+        weight=2.46,
+    ))
+    return rules
+
+
+def build_ring_network(length: int) -> Tuple[GroundNetwork, List[EntityPair]]:
+    """A ring of ``length`` authors × 2 sources with weak cross-source pairs.
+
+    No proper subset of the ring's pairs is worth matching but the full ring
+    is — inference must run the full collective group expansion, making this
+    the worst case for per-probe cost.  Returns the ground network and the
+    ring's candidate pairs in ring order.
+    """
+    store = EntityStore()
+    for index in range(length):
+        for source in (0, 1):
+            store.add_entity(make_author(
+                f"x{index}-s{source}", "J.", f"Ring{index}", source=f"s{source}"))
+    relation = Relation(COAUTHOR, arity=2, symmetric=True)
+    for index in range(length):
+        neighbor = (index + 1) % length
+        for source in (0, 1):
+            relation.add(f"x{index}-s{source}", f"x{neighbor}-s{source}")
+    store.add_relation(relation)
+    ring_pairs = [EntityPair.of(f"x{i}-s0", f"x{i}-s1") for i in range(length)]
+    for pair in ring_pairs:
+        store.add_similarity(pair, 0.9, 2)
+    database = database_from_store(store)
+    network = GroundNetwork(Grounder(ring_rules()).ground(database),
+                            database.candidates())
+    return network, ring_pairs
+
+
+def evidence_rounds(ring_pairs: List[EntityPair], rounds: int) -> List[frozenset]:
+    """Cumulative evidence chunks simulating message-passing revisits."""
+    chunk = max(1, len(ring_pairs) // (rounds + 1))
+    return [frozenset(ring_pairs[:(index + 1) * chunk]) for index in range(rounds)]
+
+
+# ----------------------------------------------------------------- measure
+def time_bootstrap(network: GroundNetwork, use_counting: bool,
+                   repeats: int) -> Tuple[float, frozenset]:
+    """Best-of-``repeats`` seconds for the first, evidence-free inference.
+
+    This is where the full collective group expansion runs — the naive
+    engine's worst case (O(candidates²) probes, each rebuilding pair sets).
+    """
+    inference = GreedyCollectiveInference(use_counting=use_counting)
+    best = float("inf")
+    final: frozenset = frozenset()
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = inference.infer(network)
+        best = min(best, time.perf_counter() - started)
+        final = result.matches
+    return best, final
+
+
+def time_revisits(network: GroundNetwork, schedule: List[frozenset],
+                  base: frozenset, use_counting: bool, warm: bool,
+                  repeats: int) -> Tuple[float, frozenset]:
+    """Best-of-``repeats`` total seconds for the evidence-growing revisits.
+
+    ``warm`` seeds every round with the previous round's matches (the first
+    with ``base``, the bootstrap result) — the message-passing pattern the
+    warm-start plumbing exists for.  Cold re-infers each round from scratch.
+    """
+    inference = GreedyCollectiveInference(use_counting=use_counting)
+    best = float("inf")
+    final: frozenset = frozenset()
+    for _ in range(repeats):
+        previous = base
+        started = time.perf_counter()
+        for evidence in schedule:
+            result = inference.infer(network, fixed_true=evidence,
+                                     warm_start=previous if warm else ())
+            previous = result.matches
+        best = min(best, time.perf_counter() - started)
+        final = previous
+    return best, final
+
+
+def time_probes(network: GroundNetwork, evidence: frozenset,
+                repeats: int) -> Dict[str, float]:
+    """Sweep ``delta_single`` over every candidate: naive vs counting engine."""
+    candidates = sorted(network.candidates)
+    timings = {"naive": float("inf"), "counting": float("inf")}
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for pair in candidates:
+            network.delta_single(pair, evidence)
+        timings["naive"] = min(timings["naive"], time.perf_counter() - started)
+
+        state = WorldState(network, initial=evidence)
+        started = time.perf_counter()
+        for pair in candidates:
+            state.delta_single(pair)
+        timings["counting"] = min(timings["counting"], time.perf_counter() - started)
+    return timings
+
+
+def run_bench(config_name: str) -> Dict:
+    config = dict(CONFIGS[config_name])
+    network, ring_pairs = build_ring_network(config["length"])
+    schedule = evidence_rounds(ring_pairs, config["rounds"])
+    repeats = config["repeats"]
+
+    seconds: Dict[str, float] = {}
+    results: Dict[str, frozenset] = {}
+    bases: Dict[str, frozenset] = {}
+    for engine, use_counting in (("naive", False), ("counting", True)):
+        seconds[f"bootstrap_{engine}"], bases[engine] = time_bootstrap(
+            network, use_counting, repeats)
+        for start, warm in (("cold", False), ("warm", True)):
+            key = f"revisit_{start}_{engine}"
+            seconds[key], results[key] = time_revisits(
+                network, schedule, bases[engine], use_counting, warm, repeats)
+
+    half_evidence = frozenset(ring_pairs[: len(ring_pairs) // 2])
+    probes = time_probes(network, half_evidence, repeats)
+    seconds["probe_sweep_naive"] = probes["naive"]
+    seconds["probe_sweep_counting"] = probes["counting"]
+
+    results.update({f"bootstrap_{engine}": base for engine, base in bases.items()})
+    reference = results["revisit_cold_naive"]
+    identical = all(matches == reference for matches in results.values())
+    return {
+        "bench": "incremental_inference",
+        "config": {"name": config_name, **config,
+                   "groundings": network.size()["groundings"],
+                   "candidates": network.size()["candidates"]},
+        "seconds": {key: round(value, 6) for key, value in sorted(seconds.items())},
+        "matches": {"count": len(reference), "identical_across_modes": identical},
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """The CI gate: counting must not lose to naive, and parity must hold."""
+    failures = []
+    seconds = report["seconds"]
+    if not report["matches"]["identical_across_modes"]:
+        failures.append("match sets differ across engine/start modes")
+    if seconds["bootstrap_counting"] >= seconds["bootstrap_naive"]:
+        failures.append(
+            f"counting bootstrap inference ({seconds['bootstrap_counting']:.4f}s) "
+            f"is not faster than naive ({seconds['bootstrap_naive']:.4f}s)")
+    if seconds["probe_sweep_counting"] >= seconds["probe_sweep_naive"]:
+        failures.append(
+            f"counting delta_single sweep ({seconds['probe_sweep_counting']:.4f}s) "
+            f"is not faster than naive ({seconds['probe_sweep_naive']:.4f}s)")
+    return failures
+
+
+# -------------------------------------------------------------- entrypoints
+def test_counting_beats_naive_smoke():
+    """Pytest entry point: the smoke config must pass the CI gate."""
+    report = run_bench("smoke")
+    print()
+    print(json.dumps(report, indent=2))
+    assert not check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="default")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT}; gate-only runs "
+                             "with --check and no --output write nothing)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless counting beats naive "
+                             "and all modes agree")
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.config)
+    print(json.dumps(report, indent=2))
+    # A bare --check run is a gate, not a recording — don't clobber the
+    # committed trajectory file with off-config numbers.
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {output}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Black-box matcher layer: protocols, concrete matchers, property checkers."""
 
-from .base import TypeIIMatcher, TypeIMatcher
+from .base import TypeIIMatcher, TypeIMatcher, WarmStartCache
 from .iterative import IterativeMatcher, IterativeMatcherConfig
 from .mln_matcher import MLNMatcher
 from .pairwise import AttributeComparison, PairwiseMatcher, default_author_comparisons
@@ -25,6 +25,7 @@ __all__ = [
     "RulesMatcher",
     "TypeIIMatcher",
     "TypeIMatcher",
+    "WarmStartCache",
     "check_idempotence",
     "check_monotonicity",
     "check_supermodularity",

@@ -21,11 +21,71 @@ from typing import FrozenSet, Iterable, Optional
 from ..datamodel import EntityPair, EntityStore, Evidence
 
 
+class WarmStartCache:
+    """Small LRU of ``(evidence, result)`` entries for warm-started matchers.
+
+    A matcher that is idempotent and monotone (Definition 4) may seed a new
+    run with any previous result whose evidence was *compatible*: positive
+    evidence a subset of the current call's, negative evidence identical —
+    then the old result is contained in the new one and seeding it is sound.
+
+    The cache keeps a handful of entries in LRU order with refresh-on-use, so
+    the common message-passing pattern survives: the main call on evidence
+    ``M`` stays cached while the ``k`` maximal-message probes (evidence
+    ``M ∪ {p}``, mutually incompatible) each warm-start from it without
+    evicting it.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = 3):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        #: Most-recently-used first: (positive, negative, result).
+        self._entries: list = []
+
+    def lookup(self, positive: FrozenSet[EntityPair],
+               negative: FrozenSet[EntityPair]) -> Optional[FrozenSet[EntityPair]]:
+        """Largest compatible cached result, refreshed to the LRU front."""
+        best_index = -1
+        best_size = -1
+        for index, (cached_pos, cached_neg, result) in enumerate(self._entries):
+            if cached_neg == negative and cached_pos <= positive \
+                    and len(result) > best_size:
+                best_index = index
+                best_size = len(result)
+        if best_index < 0:
+            return None
+        entry = self._entries.pop(best_index)
+        self._entries.insert(0, entry)
+        return entry[2]
+
+    def store(self, positive: FrozenSet[EntityPair],
+              negative: FrozenSet[EntityPair],
+              result: FrozenSet[EntityPair]) -> None:
+        """Record a result at the LRU front, evicting beyond capacity."""
+        self._entries.insert(0, (positive, negative, result))
+        del self._entries[self.capacity:]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class TypeIMatcher(abc.ABC):
     """Deterministic black-box entity matcher."""
 
     #: Human-readable name used in reports and experiment tables.
     name: str = "matcher"
+
+    #: Whether :meth:`match` accepts a ``warm_start`` keyword — a set of pairs
+    #: known to be contained in the answer (typically a previous result under
+    #: a subset of the current evidence).  The runner and the grid executor
+    #: feature-detect on this to thread prior-round results through.
+    supports_warm_start: bool = False
 
     @abc.abstractmethod
     def match(self, store: EntityStore,

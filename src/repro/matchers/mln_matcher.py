@@ -13,12 +13,18 @@ resolution, Appendix B rules).  It is:
 
 Ground networks are cached per entity store so that re-running the matcher on
 the same neighborhood with more evidence (the common case during message
-passing) does not pay the grounding cost again.
+passing) does not pay the grounding cost again.  Next to the network cache
+lives a per-store *result* cache: because the matcher is idempotent and
+monotone, a previous result obtained under a subset of the current positive
+evidence (and identical negative evidence) is contained in the current answer
+and can seed — *warm-start* — the MAP search, so revisits and the per-pair
+maximal-message probes only pay for the delta their extra evidence causes.
+Both caches are dropped on pickling.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..datamodel import EntityPair, EntityStore, Evidence
 from ..mln import (
@@ -28,26 +34,31 @@ from ..mln import (
     RuleSet,
     paper_author_rules,
 )
-from .base import TypeIIMatcher
+from .base import TypeIIMatcher, WarmStartCache
 
 
 class MLNMatcher(TypeIIMatcher):
     """Markov-Logic-Network collective entity matcher (Type-II)."""
 
     name = "mln"
+    supports_warm_start = True
 
     def __init__(self, rules: Optional[RuleSet] = None,
                  inference: Optional[GreedyCollectiveInference] = None,
                  coauthor_relation: str = "coauthor",
-                 cache_networks: bool = True):
+                 cache_networks: bool = True,
+                 cache_results: bool = True):
         self.mln = MarkovLogicNetwork(
             rules=rules if rules is not None else paper_author_rules(),
             inference=inference if inference is not None else GreedyCollectiveInference(),
             coauthor_relation=coauthor_relation,
         )
         self.cache_networks = cache_networks
+        self.cache_results = cache_results
         # id(store) -> (store, network).  The store reference keeps the id stable.
         self._network_cache: Dict[int, Tuple[EntityStore, GroundNetwork]] = {}
+        # id(store) -> (store, WarmStartCache of recent results).
+        self._result_cache: Dict[int, Tuple[EntityStore, WarmStartCache]] = {}
         #: Number of times :meth:`match` has been invoked (used by the
         #: experiment harness to report matcher work).
         self.match_calls = 0
@@ -65,21 +76,44 @@ class MLNMatcher(TypeIIMatcher):
         self._network_cache[key] = (store, network)
         return network
 
+    def _results_for(self, store: EntityStore) -> Optional[WarmStartCache]:
+        """The per-store warm-start cache (``None`` when result caching is off)."""
+        if not self.cache_results:
+            return None
+        key = id(store)
+        cached = self._result_cache.get(key)
+        if cached is not None and cached[0] is store:
+            return cached[1]
+        fresh = WarmStartCache()
+        self._result_cache[key] = (store, fresh)
+        return fresh
+
     def clear_cache(self) -> None:
         self._network_cache.clear()
+        self._result_cache.clear()
 
     # -------------------------------------------------------------- pickling
     def __getstate__(self):
-        # The network cache is keyed on id(store), which is meaningless in
-        # another process, and shipping ground networks would dwarf the task
-        # payload — the worker re-grounds its (small) neighborhood store.
+        # Both caches are keyed on id(store), which is meaningless in another
+        # process, and shipping ground networks would dwarf the task payload —
+        # the worker re-grounds its (small) neighborhood store.
         state = self.__dict__.copy()
         state["_network_cache"] = {}
+        state["_result_cache"] = {}
         return state
 
     # -------------------------------------------------------------- matching
     def match(self, store: EntityStore,
-              evidence: Optional[Evidence] = None) -> FrozenSet[EntityPair]:
+              evidence: Optional[Evidence] = None,
+              warm_start: Optional[Iterable[EntityPair]] = None) -> FrozenSet[EntityPair]:
+        """Most likely match set of ``store`` under ``evidence``.
+
+        ``warm_start`` pairs are seeded into the MAP search; the caller must
+        guarantee they are contained in the answer (in practice: a previous
+        result of this matcher on the same store under a subset of the current
+        evidence).  Compatible results from the per-store cache are merged in
+        automatically.
+        """
         evidence = evidence if evidence is not None else Evidence.empty()
         self.match_calls += 1
         network = self.network_for(store)
@@ -88,7 +122,24 @@ class MLNMatcher(TypeIIMatcher):
                              if p.first in entity_ids and p.second in entity_ids)
         negative = frozenset(p for p in evidence.negative
                              if p.first in entity_ids and p.second in entity_ids)
-        result = self.mln.inference.infer(network, fixed_true=positive, fixed_false=negative)
+
+        warm: Set[EntityPair] = set(warm_start) if warm_start else set()
+        results = self._results_for(store)
+        if results is not None:
+            cached = results.lookup(positive, negative)
+            if cached is not None:
+                warm |= cached
+
+        inference = self.mln.inference
+        if warm and getattr(inference, "supports_warm_start", False):
+            result = inference.infer(network, fixed_true=positive,
+                                     fixed_false=negative,
+                                     warm_start=frozenset(warm))
+        else:
+            result = inference.infer(network, fixed_true=positive,
+                                     fixed_false=negative)
+        if results is not None:
+            results.store(positive, negative, result.matches)
         return result.matches
 
     # --------------------------------------------------------------- scoring

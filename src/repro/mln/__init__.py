@@ -25,6 +25,7 @@ from .logic import (
 )
 from .model import MarkovLogicNetwork
 from .network import GroundNetwork
+from .state import WorldState
 
 __all__ = [
     "Atom",
@@ -45,6 +46,7 @@ __all__ = [
     "TrainingExample",
     "Variable",
     "VotedPerceptronLearner",
+    "WorldState",
     "atom",
     "const",
     "database_from_store",

@@ -11,6 +11,23 @@ with the highest score.  Two inference procedures are provided:
   (the (a1,a2), (b2,b3), (c2,c3) chain is only worth matching as a whole) and,
   because the network is supermodular, never *removes* pairs — which keeps the
   resulting matcher monotone.
+
+  By default the search runs on the **incremental counting engine**
+  (:class:`~repro.mln.state.WorldState`): every probe costs the degree of one
+  pair instead of a frozenset rebuild per touching grounding, and greedy
+  progress propagates through a worklist seeded from the touching index —
+  supermodularity guarantees only pairs sharing a grounding with a newly
+  added pair can flip from non-positive to positive delta.  ``use_counting=
+  False`` selects the naive reference path (full rescans against
+  :meth:`GroundNetwork.delta`), kept verbatim so parity can always be checked.
+
+  ``infer(..., warm_start=...)`` seeds the search with a previous result.
+  This is sound whenever the warm-start set is contained in the cold answer —
+  in particular when it is the matcher's own output under a subset of the
+  current evidence (idempotence + monotonicity, Definition 4): the greedy
+  closure from any subset of the fixpoint reaches the same fixpoint, so later
+  message-passing rounds only pay for the delta their new evidence causes.
+
 * :func:`exhaustive_map` — brute force over all subsets, only usable for tiny
   candidate sets; tests use it as the reference the greedy procedure is
   compared against.
@@ -21,13 +38,15 @@ Both respect evidence: pairs in ``fixed_true`` are clamped in, pairs in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Deque, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..datamodel import EntityPair
 from ..exceptions import InferenceError
 from .network import GroundNetwork
+from .state import WorldState
 
 #: Numerical tolerance when comparing score deltas to zero.
 SCORE_TOLERANCE = 1e-9
@@ -59,24 +78,152 @@ class GreedyCollectiveInference:
         accepted, implementing the Type-II tie-break "prefer the largest most
         likely set".  Disabled by default: strict improvement keeps the MAP
         state unique on generic weights.
+    use_counting:
+        When enabled (default) the search runs on the incremental
+        :class:`~repro.mln.state.WorldState` engine; when disabled it runs the
+        naive reference implementation against the network's set-based
+        ``score``/``delta``.  Both produce identical match sets on
+        well-behaved (supermodular) networks — asserted by the parity tests.
     """
 
+    #: Callers may pass ``warm_start`` to :meth:`infer` (feature-detection
+    #: hook for matchers wrapping a custom inference object).
+    supports_warm_start = True
+
     def __init__(self, max_iterations: int = 1000, enable_group_moves: bool = True,
-                 accept_zero_gain_groups: bool = False):
+                 accept_zero_gain_groups: bool = False, use_counting: bool = True):
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.max_iterations = max_iterations
         self.enable_group_moves = enable_group_moves
         self.accept_zero_gain_groups = accept_zero_gain_groups
+        self.use_counting = use_counting
 
     # ------------------------------------------------------------------ api
     def infer(self, network: GroundNetwork,
               fixed_true: Iterable[EntityPair] = (),
-              fixed_false: Iterable[EntityPair] = ()) -> InferenceResult:
-        """Return (an approximation of) the MAP match set of ``network``."""
+              fixed_false: Iterable[EntityPair] = (),
+              warm_start: Optional[Iterable[EntityPair]] = ()) -> InferenceResult:
+        """Return (an approximation of) the MAP match set of ``network``.
+
+        ``warm_start`` pairs are seeded into the initial world (restricted to
+        candidate pairs, minus ``fixed_false``).  Pass the previous round's
+        matches when re-running with grown evidence: the search then only pays
+        for the delta the new evidence causes.
+        """
         clamped_true = frozenset(fixed_true)
         clamped_false = frozenset(fixed_false) - clamped_true
-        world: Set[EntityPair] = set(clamped_true)
+        seed = set(clamped_true)
+        if warm_start:
+            seed |= (frozenset(warm_start) & network.candidates) - clamped_false
+        if self.use_counting:
+            return self._infer_counting(network, seed, clamped_false)
+        return self._infer_naive(network, seed, clamped_false)
+
+    # ------------------------------------------------------ counting engine
+    def _infer_counting(self, network: GroundNetwork, seed: Set[EntityPair],
+                        clamped_false: FrozenSet[EntityPair]) -> InferenceResult:
+        state = WorldState(network, initial=seed)
+        free: Set[EntityPair] = {
+            pair for pair in network.candidates
+            if pair not in state and pair not in clamped_false
+        }
+
+        iterations = 0
+        changed = True
+        while changed and iterations < self.max_iterations:
+            iterations += 1
+            changed = self._greedy_pass_counting(network, state, free)
+            if self.enable_group_moves:
+                group_changed = self._group_pass_counting(network, state, free)
+                changed = changed or group_changed
+
+        return InferenceResult(matches=state.world, score=state.score,
+                               iterations=iterations)
+
+    def _greedy_pass_counting(self, network: GroundNetwork, state: WorldState,
+                              free: Set[EntityPair]) -> bool:
+        """Add every single pair with a strictly positive delta, to fixpoint.
+
+        The worklist starts from every free pair (earlier group moves may have
+        left unrelated pairs positive) and thereafter re-enqueues only the
+        pairs sharing a grounding with an accepted pair — the only pairs whose
+        delta can have changed.  The fixpoint is the unique greedy closure, so
+        the result matches the naive full-rescan reference.
+        """
+        changed_any = False
+        worklist: Deque[EntityPair] = deque(sorted(free))
+        queued: Set[EntityPair] = set(worklist)
+        while worklist:
+            pair = worklist.popleft()
+            queued.discard(pair)
+            if pair not in free:
+                continue
+            if state.delta_single(pair) > SCORE_TOLERANCE:
+                state.add(pair)
+                free.discard(pair)
+                changed_any = True
+                for neighbor in network.affected_pairs(pair):
+                    if neighbor in free and neighbor not in queued:
+                        worklist.append(neighbor)
+                        queued.add(neighbor)
+        return changed_any
+
+    def _group_pass_counting(self, network: GroundNetwork, state: WorldState,
+                             free: Set[EntityPair]) -> bool:
+        """Try collective chain moves seeded at each unmatched pair."""
+        changed_any = False
+        for seed in sorted(free):
+            if seed not in free:
+                continue  # absorbed by an earlier group this pass
+            group = self._expand_group_counting(network, state, free, seed)
+            joint_delta = state.delta(group)
+            accept = joint_delta > SCORE_TOLERANCE or (
+                self.accept_zero_gain_groups and joint_delta >= -SCORE_TOLERANCE
+            )
+            if accept:
+                for pair in group:
+                    state.add(pair)
+                    free.discard(pair)
+                changed_any = True
+        return changed_any
+
+    @staticmethod
+    def _expand_group_counting(network: GroundNetwork, state: WorldState,
+                               free: Set[EntityPair],
+                               seed: EntityPair) -> Set[EntityPair]:
+        """Grow a tentative group from ``seed`` by pulling in entailed pairs.
+
+        Runs on a hypothetical copy of the state so probes stay O(degree).
+        The worklist again starts from every free pair — an earlier accepted
+        group in the same pass may have made a pair far from ``seed``
+        positive, and the naive reference would absorb it — and propagates
+        through the touching index.
+        """
+        hypothetical = state.copy()
+        hypothetical.add(seed)
+        group: Set[EntityPair] = {seed}
+        worklist: Deque[EntityPair] = deque(sorted(free))
+        queued: Set[EntityPair] = set(worklist)
+        while worklist:
+            pair = worklist.popleft()
+            queued.discard(pair)
+            if pair in group or pair not in free:
+                continue
+            if hypothetical.delta_single(pair) > SCORE_TOLERANCE:
+                hypothetical.add(pair)
+                group.add(pair)
+                for neighbor in network.affected_pairs(pair):
+                    if neighbor in free and neighbor not in group \
+                            and neighbor not in queued:
+                        worklist.append(neighbor)
+                        queued.add(neighbor)
+        return group
+
+    # ------------------------------------------------------ naive reference
+    def _infer_naive(self, network: GroundNetwork, seed: Set[EntityPair],
+                     clamped_false: FrozenSet[EntityPair]) -> InferenceResult:
+        world: Set[EntityPair] = set(seed)
         free_candidates = [
             pair for pair in sorted(network.candidates)
             if pair not in world and pair not in clamped_false
@@ -95,7 +242,6 @@ class GreedyCollectiveInference:
         return InferenceResult(matches=matched, score=network.score(matched),
                                iterations=iterations)
 
-    # -------------------------------------------------------------- internal
     def _greedy_pass(self, network: GroundNetwork, world: Set[EntityPair],
                      free_candidates: List[EntityPair]) -> bool:
         """Add every single pair with a strictly positive delta; loop to fixpoint."""

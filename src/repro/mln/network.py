@@ -27,11 +27,21 @@ class GroundNetwork:
                  candidates: Iterable[EntityPair]):
         self._groundings: List[GroundRule] = list(groundings)
         self._candidates: FrozenSet[EntityPair] = frozenset(candidates)
+        # Flat per-grounding views consumed by the incremental WorldState:
+        # weights, query-pair sets and their sizes, indexed like _groundings.
+        self._weights: List[float] = [g.weight for g in self._groundings]
+        self._grounding_pairs: List[FrozenSet[EntityPair]] = [
+            g.pairs() for g in self._groundings
+        ]
+        self._sizes: List[int] = [len(pairs) for pairs in self._grounding_pairs]
         # pair -> indexes of groundings in which the pair participates.
         self._touching: Dict[EntityPair, List[int]] = {}
-        for index, grounding in enumerate(self._groundings):
-            for pair in grounding.pairs():
+        for index, pairs in enumerate(self._grounding_pairs):
+            for pair in pairs:
                 self._touching.setdefault(pair, []).append(index)
+        # pair -> pairs sharing a grounding with it (lazily built worklist
+        # adjacency for the incremental inference engine).
+        self._affected_cache: Dict[EntityPair, FrozenSet[EntityPair]] = {}
 
     # ---------------------------------------------------------------- access
     @property
@@ -45,6 +55,45 @@ class GroundNetwork:
 
     def groundings_touching(self, pair: EntityPair) -> List[GroundRule]:
         return [self._groundings[i] for i in self._touching.get(pair, ())]
+
+    # ------------------------------------------------- incremental-state views
+    # Read-only structural views consumed by repro.mln.state.WorldState; the
+    # returned containers are shared, never copied — callers must not mutate.
+    @property
+    def touching_map(self) -> Dict[EntityPair, List[int]]:
+        """pair -> indexes (into :attr:`groundings`) of groundings touching it."""
+        return self._touching
+
+    @property
+    def grounding_weights(self) -> List[float]:
+        """Per-grounding weights, indexed like :attr:`groundings`."""
+        return self._weights
+
+    @property
+    def grounding_sizes(self) -> List[int]:
+        """Per-grounding count of distinct query pairs (head + body)."""
+        return self._sizes
+
+    def touching_indexes(self, pair: EntityPair) -> Sequence[int]:
+        """Indexes of the groundings in which ``pair`` participates."""
+        return self._touching.get(pair, ())
+
+    def affected_pairs(self, pair: EntityPair) -> FrozenSet[EntityPair]:
+        """Pairs sharing at least one grounding with ``pair`` (cached).
+
+        Adding ``pair`` to a world can only change the delta of these pairs —
+        this is the worklist edge relation of the incremental greedy search.
+        """
+        cached = self._affected_cache.get(pair)
+        if cached is not None:
+            return cached
+        affected: Set[EntityPair] = set()
+        for index in self._touching.get(pair, ()):
+            affected.update(self._grounding_pairs[index])
+        affected.discard(pair)
+        result = frozenset(affected)
+        self._affected_cache[pair] = result
+        return result
 
     def size(self) -> Dict[str, int]:
         return {"groundings": len(self._groundings), "candidates": len(self._candidates)}

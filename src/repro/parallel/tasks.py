@@ -8,8 +8,14 @@ process by :class:`repro.parallel.executor.ProcessExecutor`:
 * the *restricted* neighborhood store (small — only the neighborhood's
   entities and relations travel, never the global store),
 * the evidence snapshot restricted to the neighborhood's entities,
+* the neighborhood's result from the previous round (``warm_start``) — the
+  per-neighborhood evidence only grows across rounds, so for idempotent +
+  monotone matchers that declare ``supports_warm_start`` the old result is
+  contained in the new one and seeds the search, which is how later rounds
+  only pay for the delta their new evidence causes even under the process
+  executor (where the matcher's in-memory caches do not travel),
 * the matcher itself (matchers are picklable black boxes; the MLN matcher
-  drops its per-store ground-network cache when pickled).
+  drops its per-store ground-network and result caches when pickled).
 
 :func:`execute_map_task` is the module-level entry point the executors call;
 its :class:`MapResult` carries everything the reduce phase needs back: the
@@ -38,6 +44,9 @@ class MapTask:
     store: EntityStore
     evidence: FrozenSet[EntityPair]
     compute_messages: bool = False
+    #: This neighborhood's matches from the previous round (empty on the
+    #: first visit); only ever non-empty for ``supports_warm_start`` matchers.
+    warm_start: FrozenSet[EntityPair] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -59,9 +68,12 @@ class _TaskRunner:
     store keeps the payload independent of the cover and the global store.
     """
 
-    def __init__(self, matcher: TypeIMatcher, store: EntityStore):
+    def __init__(self, matcher: TypeIMatcher, store: EntityStore,
+                 warm_start: FrozenSet[EntityPair] = frozenset()):
         self.matcher = matcher
         self.store = store
+        self.warm_start = warm_start if getattr(
+            matcher, "supports_warm_start", False) else frozenset()
         self.calls = 0
 
     def run(self, name: str, positive: Iterable[EntityPair] = (),
@@ -69,6 +81,12 @@ class _TaskRunner:
         evidence = Evidence.of(positive, negative).restricted_to(
             self.store.entity_ids())
         self.calls += 1
+        if self.warm_start:
+            # Every call of this task carries at least the task's evidence
+            # snapshot, which contains the previous round's evidence — so the
+            # previous round's result stays a sound seed for the probes too.
+            return self.matcher.match(self.store, evidence,
+                                      warm_start=self.warm_start)
         return self.matcher.match(self.store, evidence)
 
     def candidate_pairs(self, name: str) -> FrozenSet[EntityPair]:
@@ -82,7 +100,7 @@ def execute_map_task(task: MapTask) -> MapResult:
     ``functools.partial(execute_map_task, task)`` to its workers.
     """
     started = time.perf_counter()
-    runner = _TaskRunner(task.matcher, task.store)
+    runner = _TaskRunner(task.matcher, task.store, warm_start=task.warm_start)
     found = runner.run(task.name, positive=task.evidence)
     messages: Tuple[MaximalMessage, ...] = ()
     if task.compute_messages:

@@ -5,21 +5,48 @@ Classic dynamic-programming Levenshtein distance plus the Damerau variant
 These are the workhorse measures for attribute comparison in non-relational
 entity matchers (Appendix D of the paper) and are used by the dataset noise
 model to calibrate how much mutation is injected.
+
+Both distances run in rolling rows — two for Levenshtein, three for the
+Damerau variant (its transposition case reaches back to row ``i-2``) — so
+memory is O(min(n, m)) instead of the full O(n·m) matrix.  Both accept an
+optional ``max_distance`` band: blockers comparing against a threshold can
+abandon a row as soon as every cell exceeds the band, turning the common
+"clearly different" case into an early exit.  When the band is exceeded the
+functions return ``max_distance + 1`` (a value strictly greater than the
+band, *not* the true distance).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 
-def levenshtein_distance(a: str, b: str) -> int:
-    """Minimum number of single-character insertions, deletions and substitutions."""
+def _banded_trivial(length: int, max_distance: Optional[int]) -> int:
+    """Distance against an empty string under an optional band."""
+    if max_distance is not None and length > max_distance:
+        return max_distance + 1
+    return length
+
+
+def levenshtein_distance(a: str, b: str,
+                         max_distance: Optional[int] = None) -> int:
+    """Minimum number of single-character insertions, deletions and substitutions.
+
+    With ``max_distance`` set, computation stops as soon as the distance is
+    guaranteed to exceed it and ``max_distance + 1`` is returned instead of
+    the exact value.
+    """
+    if max_distance is not None and max_distance < 0:
+        raise ValueError("max_distance must be >= 0")
     if a == b:
         return 0
     if not a:
-        return len(b)
+        return _banded_trivial(len(b), max_distance)
     if not b:
-        return len(a)
+        return _banded_trivial(len(a), max_distance)
+    if max_distance is not None and abs(len(a) - len(b)) > max_distance:
+        # Each length difference costs at least one insertion/deletion.
+        return max_distance + 1
     if len(a) > len(b):
         a, b = b, a
     previous = list(range(len(a) + 1))
@@ -32,36 +59,60 @@ def levenshtein_distance(a: str, b: str) -> int:
                 current[i - 1] + 1,         # insertion
                 previous[i - 1] + substitution_cost,
             )
+        if max_distance is not None and min(current) > max_distance:
+            # Every cell already exceeds the band and costs never decrease
+            # along the remaining rows.
+            return max_distance + 1
         previous = current
-    return previous[-1]
+    distance = previous[-1]
+    if max_distance is not None and distance > max_distance:
+        return max_distance + 1
+    return distance
 
 
-def damerau_levenshtein_distance(a: str, b: str) -> int:
-    """Levenshtein distance that also counts adjacent transpositions as one edit."""
+def damerau_levenshtein_distance(a: str, b: str,
+                                 max_distance: Optional[int] = None) -> int:
+    """Levenshtein distance that also counts adjacent transpositions as one edit.
+
+    Three-row dynamic programme (current, previous, and two-ago for the
+    transposition case) instead of the full matrix; the optional
+    ``max_distance`` band behaves exactly as in :func:`levenshtein_distance`.
+    """
+    if max_distance is not None and max_distance < 0:
+        raise ValueError("max_distance must be >= 0")
     if a == b:
         return 0
     if not a:
-        return len(b)
+        return _banded_trivial(len(b), max_distance)
     if not b:
-        return len(a)
-    rows = len(a) + 1
-    cols = len(b) + 1
-    dist: List[List[int]] = [[0] * cols for _ in range(rows)]
-    for i in range(rows):
-        dist[i][0] = i
-    for j in range(cols):
-        dist[0][j] = j
-    for i in range(1, rows):
-        for j in range(1, cols):
-            cost = 0 if a[i - 1] == b[j - 1] else 1
-            dist[i][j] = min(
-                dist[i - 1][j] + 1,
-                dist[i][j - 1] + 1,
-                dist[i - 1][j - 1] + cost,
+        return _banded_trivial(len(a), max_distance)
+    if max_distance is not None and abs(len(a) - len(b)) > max_distance:
+        return max_distance + 1
+    if len(a) > len(b):
+        a, b = b, a  # the distance is symmetric; keep rows short
+    two_ago: Optional[List[int]] = None
+    previous = list(range(len(a) + 1))
+    for j, char_b in enumerate(b, start=1):
+        current = [j] + [0] * len(a)
+        for i, char_a in enumerate(a, start=1):
+            cost = 0 if char_a == char_b else 1
+            best = min(
+                previous[i] + 1,            # deletion
+                current[i - 1] + 1,         # insertion
+                previous[i - 1] + cost,     # substitution
             )
-            if i > 1 and j > 1 and a[i - 1] == b[j - 2] and a[i - 2] == b[j - 1]:
-                dist[i][j] = min(dist[i][j], dist[i - 2][j - 2] + 1)
-    return dist[-1][-1]
+            if i > 1 and j > 1 and char_a == b[j - 2] and a[i - 2] == char_b:
+                transposed = two_ago[i - 2] + 1  # type: ignore[index]
+                if transposed < best:
+                    best = transposed
+            current[i] = best
+        if max_distance is not None and min(current) > max_distance:
+            return max_distance + 1
+        two_ago, previous = previous, current
+    distance = previous[-1]
+    if max_distance is not None and distance > max_distance:
+        return max_distance + 1
+    return distance
 
 
 def levenshtein_similarity(a: str, b: str) -> float:

@@ -48,6 +48,32 @@ class TestLevenshtein:
     def test_damerau_similarity(self):
         assert damerau_levenshtein_similarity("jonh", "john") > levenshtein_similarity("jonh", "john") - 1e-9
 
+    def test_damerau_transposition_plus_edit(self):
+        # transposition followed by a substitution: the three-row DP must
+        # reach back two rows for the "ac" swap while handling the edit.
+        assert damerau_levenshtein_distance("cax", "acy") == 2
+        assert damerau_levenshtein_distance("abcdef", "abdcef") == 1
+
+    def test_max_distance_band_exact_within(self):
+        for func in (levenshtein_distance, damerau_levenshtein_distance):
+            assert func("kitten", "sitting", max_distance=3) == 3
+            assert func("kitten", "sitting", max_distance=5) == 3
+            assert func("same", "same", max_distance=0) == 0
+
+    def test_max_distance_band_exceeded(self):
+        for func in (levenshtein_distance, damerau_levenshtein_distance):
+            # true distance is 3; a band of 2 reports band + 1
+            assert func("kitten", "sitting", max_distance=2) == 3
+            assert func("kitten", "sitting", max_distance=0) == 1
+            # length-difference shortcut
+            assert func("a", "abcdefgh", max_distance=3) == 4
+            assert func("", "abcdefgh", max_distance=3) == 4
+
+    def test_max_distance_band_invalid(self):
+        for func in (levenshtein_distance, damerau_levenshtein_distance):
+            with pytest.raises(ValueError):
+                func("a", "b", max_distance=-1)
+
 
 class TestJaro:
     def test_identical_and_empty(self):
