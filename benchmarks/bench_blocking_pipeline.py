@@ -1,0 +1,200 @@
+"""Bench: cold vs profiled × serial vs parallel cover construction.
+
+Times the blocking front end on HEPTH-like and DBLP-like workloads across
+the four combinations of
+
+* **engine**: ``naive`` (the string-at-a-time reference path,
+  ``CanopyBlocker(use_profiles=False)``) vs ``profiled`` (the
+  :class:`~repro.similarity.profiles.EntityProfileIndex` path with memoized
+  scoring and upper-bound pruning), and
+* **pipeline**: ``serial`` (:func:`~repro.blocking.build_total_cover`) vs
+  ``parallel`` (:class:`~repro.blocking.ParallelCoverBuilder` sharding
+  speculative canopy waves and boundary expansion over a process pool).
+
+Every cell must produce a byte-identical cover; the headline number is the
+``canopy_speedup`` of the profiled engine over the naive reference (the
+acceptance target of PR 3 is ≥ 5x on the default config).  The parallel
+columns are reported honestly: profiled scoring is memo-bound pure Python,
+so at these scales the speculative waves pay more in IPC/GIL overhead than
+they win back — the column demonstrates the deterministic sharding seam, and
+becomes profitable when the cheap similarity itself is expensive.
+
+Results are written to ``BENCH_blocking.json`` so later PRs have a perf
+trajectory to compare against.
+
+Run standalone (this is what the CI perf-smoke step does)::
+
+    PYTHONPATH=src python benchmarks/bench_blocking_pipeline.py --smoke --check
+
+or through pytest together with the other benches::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q -s bench_blocking_pipeline.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.blocking import CanopyBlocker, Cover, ParallelCoverBuilder, build_total_cover
+from repro.datasets import dblp_like, hepth_like
+
+#: Named workload sizes.  ``smoke`` is the CI gate (seconds); ``default`` is
+#: the recorded trajectory point.
+CONFIGS: Dict[str, Dict] = {
+    "smoke": {"workloads": [("hepth", 0.4)], "repeats": 1, "workers": 2},
+    "default": {"workloads": [("hepth", 2.0), ("dblp", 2.5)], "repeats": 2,
+                "workers": 4},
+}
+
+_PRESETS = {"hepth": hepth_like, "dblp": dblp_like}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_blocking.json"
+
+RELATIONS = ["coauthor"]
+
+
+def cover_signature(cover: Cover) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Order-sensitive, hashable rendering used for byte-parity checks."""
+    return [(n.name, tuple(sorted(n.entity_ids))) for n in cover]
+
+
+def best_of(repeats: int, build: Callable[[], Cover]) -> Tuple[float, Cover]:
+    best = float("inf")
+    cover: Cover = Cover([])
+    for _ in range(repeats):
+        started = time.perf_counter()
+        cover = build()
+        best = min(best, time.perf_counter() - started)
+    return best, cover
+
+
+def run_workload(preset: str, scale: float, repeats: int, workers: int) -> Dict:
+    store = _PRESETS[preset](scale=scale).store
+    naive = CanopyBlocker(use_profiles=False)
+    profiled = CanopyBlocker()
+
+    seconds: Dict[str, float] = {}
+    covers: Dict[str, Cover] = {}
+
+    # Canopy construction alone — the quantity the ≥5x acceptance gate is on.
+    seconds["canopy_naive"], covers["canopy_naive"] = best_of(
+        repeats, lambda: naive.build_cover(store))
+    seconds["canopy_profiled"], covers["canopy_profiled"] = best_of(
+        repeats, lambda: profiled.build_cover(store))
+
+    # Full pipeline (canopy + boundary expansion to a total cover).
+    seconds["total_naive_serial"], covers["total_naive_serial"] = best_of(
+        repeats, lambda: build_total_cover(naive, store, relation_names=RELATIONS))
+    seconds["total_profiled_serial"], covers["total_profiled_serial"] = best_of(
+        repeats, lambda: build_total_cover(profiled, store, relation_names=RELATIONS))
+    for engine, blocker in (("naive", naive), ("profiled", profiled)):
+        builder = ParallelCoverBuilder(blocker, executor="processes",
+                                       workers=workers, relation_names=RELATIONS)
+        key = f"total_{engine}_parallel"
+        seconds[key], covers[key] = best_of(
+            repeats, lambda b=builder: b.build_total_cover(store))
+
+    canopy_parity = cover_signature(covers["canopy_naive"]) == \
+        cover_signature(covers["canopy_profiled"])
+    total_reference = cover_signature(covers["total_naive_serial"])
+    total_parity = all(
+        cover_signature(covers[key]) == total_reference
+        for key in ("total_profiled_serial", "total_naive_parallel",
+                    "total_profiled_parallel"))
+
+    stats = covers["total_naive_serial"].stats()
+    return {
+        "preset": preset,
+        "scale": scale,
+        "entities": len(store.entity_ids()),
+        "neighborhoods": stats["neighborhoods"],
+        "total_pairs": stats["total_pairs"],
+        "seconds": {key: round(value, 6) for key, value in sorted(seconds.items())},
+        "canopy_speedup": round(seconds["canopy_naive"] / seconds["canopy_profiled"], 2)
+        if seconds["canopy_profiled"] > 0 else float("inf"),
+        "covers_identical": canopy_parity and total_parity,
+    }
+
+
+def run_bench(config_name: str) -> Dict:
+    config = CONFIGS[config_name]
+    workers = min(config["workers"], os.cpu_count() or 1)
+    workloads = [
+        run_workload(preset, scale, config["repeats"], workers)
+        for preset, scale in config["workloads"]
+    ]
+    return {
+        "bench": "blocking_pipeline",
+        "config": {"name": config_name, "repeats": config["repeats"],
+                   "workers": workers},
+        "workloads": workloads,
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """The CI gate: profiled canopies must not lose to naive, and parity must hold."""
+    failures = []
+    for workload in report["workloads"]:
+        label = f"{workload['preset']}@{workload['scale']}"
+        if not workload["covers_identical"]:
+            failures.append(f"{label}: covers differ across engine/pipeline modes")
+        seconds = workload["seconds"]
+        if seconds["canopy_profiled"] >= seconds["canopy_naive"]:
+            failures.append(
+                f"{label}: profiled canopy construction "
+                f"({seconds['canopy_profiled']:.4f}s) is not faster than the "
+                f"naive path ({seconds['canopy_naive']:.4f}s)")
+    return failures
+
+
+# -------------------------------------------------------------- entrypoints
+def test_profiled_beats_naive_smoke():
+    """Pytest entry point: the smoke config must pass the CI gate."""
+    report = run_bench("smoke")
+    print()
+    print(json.dumps(report, indent=2))
+    assert not check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="default")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorthand for --config smoke")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT}; gate-only runs "
+                             "with --check and no --output write nothing)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless profiled canopy "
+                             "construction beats naive and all covers agree")
+    args = parser.parse_args(argv)
+    config = "smoke" if args.smoke else args.config
+
+    report = run_bench(config)
+    print(json.dumps(report, indent=2))
+    # A bare --check run is a gate, not a recording — don't clobber the
+    # committed trajectory file with off-config numbers.
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {output}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

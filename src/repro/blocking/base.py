@@ -11,18 +11,29 @@ cover into a *total* cover is the job of
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
 from ..datamodel import Entity, EntityStore
 from .cover import Cover, Neighborhood
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..similarity.profiles import EntityProfileIndex
 
 
 class Blocker(abc.ABC):
     """Abstract base class of all cover builders."""
 
     @abc.abstractmethod
-    def build_cover(self, store: EntityStore) -> Cover:
-        """Build a cover of the entities in ``store``."""
+    def build_cover(self, store: EntityStore,
+                    profiles: Optional["EntityProfileIndex"] = None) -> Cover:
+        """Build a cover of the entities in ``store``.
+
+        ``profiles`` may supply a prebuilt
+        :class:`~repro.similarity.profiles.EntityProfileIndex` so repeated
+        builds (or multi-pass pipelines) share tokenizations and cached
+        blocking keys; blockers must produce the same cover with or without
+        it.
+        """
 
     @staticmethod
     def _make_neighborhoods(groups: Iterable[Iterable[str]], prefix: str) -> Cover:

@@ -10,15 +10,52 @@ The paper's covers are built this way: Canopies over the ``Similar`` relation
 followed by boundary expansion with respect to the other relations (Coauthor,
 Authored, Cites), which is what brings dissimilar entities — and entities of
 different types, e.g. papers — into the same neighborhood.
+
+The implementation is inverted relative to the definition: instead of one
+neighbor lookup per member per relation (each allocating a fresh neighbor
+set), each relation is traversed once per round via
+:meth:`~repro.datamodel.relation.Relation.tuples_touching`, and multi-round
+expansion only follows the *frontier* — the members added in the previous
+round — since older members' neighbors are already inside.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from ..datamodel import EntityStore
+from ..datamodel import EntityStore, Relation
 from ..exceptions import CoverError
 from .cover import Cover, Neighborhood
+
+
+def relations_boundary(relations: Sequence[Relation], members: Set[str]) -> Set[str]:
+    """Entities outside ``members`` sharing a tuple of any relation with a member."""
+    boundary: Set[str] = set()
+    for relation in relations:
+        for tup in relation.tuples_touching(members):
+            boundary.update(tup)
+    return boundary - members
+
+
+def expand_members(relations: Sequence[Relation], entity_ids: Iterable[str],
+                   rounds: int = 1) -> Set[str]:
+    """``rounds`` rounds of boundary expansion of one neighborhood's members.
+
+    After the first round only the frontier (the previously added entities)
+    is followed: a member added in round ``k`` already pulled in all of its
+    relation partners, so re-scanning it in round ``k + 1`` cannot add
+    anything new.  The result is identical to re-expanding the full member
+    set every round.
+    """
+    members: Set[str] = set(entity_ids)
+    frontier = members
+    for _ in range(rounds):
+        fresh = relations_boundary(relations, frontier) - members
+        if not fresh:
+            break
+        members |= fresh
+        frontier = fresh
+    return members
 
 
 def neighborhood_boundary(store: EntityStore, entity_ids: Iterable[str],
@@ -34,14 +71,9 @@ def neighborhood_boundary(store: EntityStore, entity_ids: Iterable[str],
     relation_names:
         Relations to follow; defaults to every relation in the store.
     """
-    members = set(entity_ids)
     names = list(relation_names) if relation_names is not None else store.relation_names()
-    boundary: Set[str] = set()
-    for name in names:
-        relation = store.relation(name)
-        for entity_id in members:
-            boundary.update(relation.neighbors(entity_id))
-    return boundary - members
+    return relations_boundary([store.relation(name) for name in names],
+                              set(entity_ids))
 
 
 def expand_to_total_cover(cover: Cover, store: EntityStore,
@@ -68,26 +100,26 @@ def expand_to_total_cover(cover: Cover, store: EntityStore,
     if rounds < 1:
         raise ValueError("rounds must be >= 1")
     names = list(relation_names) if relation_names is not None else store.relation_names()
+    relations = [store.relation(name) for name in names]
 
-    expanded: List[Neighborhood] = []
-    for neighborhood in cover:
-        members: Set[str] = set(neighborhood.entity_ids)
-        for _ in range(rounds):
-            boundary = neighborhood_boundary(store, members, names)
-            if not boundary:
-                break
-            members |= boundary
-        expanded.append(Neighborhood(neighborhood.name, frozenset(members)))
+    expanded: List[Neighborhood] = [
+        Neighborhood(neighborhood.name,
+                     frozenset(expand_members(relations, neighborhood.entity_ids, rounds)))
+        for neighborhood in cover
+    ]
+    return _attach_leftover_singletons(expanded, store)
 
+
+def _attach_leftover_singletons(expanded: List[Neighborhood],
+                                store: EntityStore) -> Cover:
+    """Cover of ``expanded`` plus a singleton per still-uncovered store entity."""
     covered: Set[str] = set()
     for neighborhood in expanded:
         covered.update(neighborhood.entity_ids)
     leftovers = sorted(store.entity_ids() - covered)
     for index, entity_id in enumerate(leftovers):
         expanded.append(Neighborhood(f"singleton-{index}", frozenset({entity_id})))
-
-    result = Cover(expanded)
-    return result
+    return Cover(expanded)
 
 
 def build_total_cover(blocker, store: EntityStore,
@@ -103,12 +135,18 @@ def build_total_cover(blocker, store: EntityStore,
     base_cover = blocker.build_cover(store)
     total = expand_to_total_cover(base_cover, store, relation_names, rounds)
     if validate:
-        names = list(relation_names) if relation_names is not None else store.relation_names()
-        missing = total.uncovered_tuples(store, names)
-        if missing:
-            relation, tuples = next(iter(missing.items()))
-            raise CoverError(
-                f"boundary expansion failed to produce a total cover: relation {relation!r} "
-                f"has {len(tuples)} uncovered tuples (e.g. {tuples[0]})"
-            )
+        validate_total(total, store, relation_names)
     return total
+
+
+def validate_total(cover: Cover, store: EntityStore,
+                   relation_names: Optional[Iterable[str]] = None) -> None:
+    """Raise :class:`CoverError` unless ``cover`` is total w.r.t. the relations."""
+    names = list(relation_names) if relation_names is not None else store.relation_names()
+    missing = cover.uncovered_tuples(store, names)
+    if missing:
+        relation, tuples = next(iter(missing.items()))
+        raise CoverError(
+            f"boundary expansion failed to produce a total cover: relation {relation!r} "
+            f"has {len(tuples)} uncovered tuples (e.g. {tuples[0]})"
+        )

@@ -13,21 +13,37 @@ a *cheap* similarity with two thresholds:
 The result is a set of overlapping neighborhoods such that every pair of
 sufficiently-similar entities shares at least one canopy — i.e. a total cover
 over the ``Similar`` relation.
+
+Two implementations coexist:
+
+* the **profiled** path (default): entities are tokenized and normalized once
+  into an :class:`~repro.similarity.profiles.EntityProfileIndex`, pair scores
+  go through memoized scorers with sound upper-bound pruning, and the
+  ``"tfidf"`` similarity gets its candidates *with scores* straight from the
+  postings index;
+* the **naive** path (``use_profiles=False``): the original string-at-a-time
+  reference implementation, kept verbatim as the parity baseline.
+
+Both produce bitwise-identical covers (``tests/test_profiles.py``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..datamodel import Entity, EntityStore
 from ..similarity.name_similarity import DEFAULT_AUTHOR_SIMILARITY
+from ..similarity.profiles import EntityProfileIndex, ProfiledNameScorer
 from ..similarity.tfidf import TfIdfVectorizer, cosine_similarity, default_tokenizer
 from .base import Blocker
-from .cover import Cover, Neighborhood
+from .cover import Cover
 
 #: Cheap similarity signature: maps two entities to a score in [0, 1].
 CheapSimilarity = Callable[[Entity, Entity], float]
+
+#: ``canopy_fn(center_id) -> (canopy ids, removed ids)`` — one center's canopy.
+CanopyFn = Callable[[str], Tuple[Set[str], Set[str]]]
 
 
 def author_name_cheap_similarity(a: Entity, b: Entity) -> float:
@@ -47,11 +63,12 @@ class CanopyBlocker(Blocker):
         centers themselves.  Must be ≥ ``loose_threshold``.
     similarity:
         Cheap entity-pair similarity; defaults to the structured author-name
-        score.
+        score.  The string ``"tfidf"`` selects TF-IDF cosine over the text
+        attributes (vectorizer fitted on the clustered entities).
     entity_type:
         When set, only entities of this type are clustered into canopies
         (papers, for instance, are attached later via boundary expansion).
-    text_key:
+    text_attributes:
         Attribute(s) used by the inverted-index pre-filter.  Candidate
         neighbours for a center are restricted to entities sharing at least
         one token/character trigram with the center, which keeps canopy
@@ -59,21 +76,30 @@ class CanopyBlocker(Blocker):
     seed:
         Seed for the random choice of canopy centers (canopies are randomised
         but the downstream framework is order-invariant).
+    use_profiles:
+        Route construction through the precomputed
+        :class:`~repro.similarity.profiles.EntityProfileIndex` (default).
+        ``False`` selects the naive string-at-a-time reference path; covers
+        are identical either way.
     """
 
     def __init__(self, loose_threshold: float = 0.78, tight_threshold: float = 0.92,
-                 similarity: CheapSimilarity = author_name_cheap_similarity,
+                 similarity: Union[CheapSimilarity, str] = author_name_cheap_similarity,
                  entity_type: Optional[str] = "author",
                  text_attributes: Sequence[str] = ("fname", "lname"),
-                 seed: int = 0):
+                 seed: int = 0, use_profiles: bool = True):
         if not 0.0 <= loose_threshold <= tight_threshold <= 1.0:
             raise ValueError("thresholds must satisfy 0 <= loose <= tight <= 1")
+        if isinstance(similarity, str) and similarity != "tfidf":
+            raise ValueError(f"unknown similarity spec {similarity!r}; "
+                             "only 'tfidf' is accepted as a string")
         self.loose_threshold = loose_threshold
         self.tight_threshold = tight_threshold
         self.similarity = similarity
         self.entity_type = entity_type
         self.text_attributes = tuple(text_attributes)
         self.seed = seed
+        self.use_profiles = use_profiles
 
     # ------------------------------------------------------------------ text
     def _entity_text(self, entity: Entity) -> str:
@@ -95,53 +121,159 @@ class CanopyBlocker(Blocker):
         candidates.discard(entity.entity_id)
         return candidates
 
+    # ------------------------------------------------------------- selection
+    def clustered_entities(self, store: EntityStore) -> List[Entity]:
+        """The entities this blocker clusters, in sorted entity-id order."""
+        if self.entity_type is not None:
+            entities = store.entities_of_type(self.entity_type)
+        else:
+            entities = store.entities()
+        return sorted(entities, key=lambda e: e.entity_id)
+
+    def shuffled_order(self, entities: Sequence[Entity]) -> List[str]:
+        """Seeded random center-processing order over ``entities``."""
+        order = [entity.entity_id for entity in entities]
+        random.Random(self.seed).shuffle(order)
+        return order
+
+    def profile_index(self, entities: Sequence[Entity],
+                      profiles: Optional[EntityProfileIndex] = None) -> EntityProfileIndex:
+        """A profile index covering exactly ``entities``; reuses ``profiles`` when compatible."""
+        if profiles is not None and profiles.matches(
+                (entity.entity_id for entity in entities), self.text_attributes):
+            return profiles
+        return EntityProfileIndex(entities, text_attributes=self.text_attributes)
+
+    # --------------------------------------------------------- canopy builders
+    def canopy_factory(self, entities: Sequence[Entity],
+                       profiles: Optional[EntityProfileIndex] = None) -> CanopyFn:
+        """Build the per-center canopy function for the configured mode."""
+        loose, tight = self.loose_threshold, self.tight_threshold
+
+        if not self.use_profiles:
+            by_id = {entity.entity_id: entity for entity in entities}
+            index = self._build_inverted_index(entities)
+            if self.similarity == "tfidf":
+                texts = {entity.entity_id: self._entity_text(entity) for entity in entities}
+                vectorizer = TfIdfVectorizer().fit(
+                    texts[entity.entity_id] for entity in entities)
+
+                def naive_tfidf_score(a: str, b: str) -> float:
+                    return cosine_similarity(vectorizer.transform(texts[a]),
+                                             vectorizer.transform(texts[b]))
+
+                score = naive_tfidf_score
+            else:
+                similarity = self.similarity
+
+                def naive_entity_score(a: str, b: str) -> float:
+                    return similarity(by_id[a], by_id[b])
+
+                score = naive_entity_score
+
+            def naive_canopy(center_id: str) -> Tuple[Set[str], Set[str]]:
+                canopy: Set[str] = {center_id}
+                removed: Set[str] = {center_id}
+                for candidate_id in self._candidates(by_id[center_id], index):
+                    if candidate_id not in by_id:
+                        continue
+                    candidate_score = score(center_id, candidate_id)
+                    if candidate_score >= loose:
+                        canopy.add(candidate_id)
+                        if candidate_score >= tight:
+                            removed.add(candidate_id)
+                return canopy, removed
+
+            return naive_canopy
+
+        pindex = self.profile_index(entities, profiles)
+        if self.similarity == "tfidf":
+            tfidf = pindex.tfidf
+
+            def tfidf_canopy(center_id: str) -> Tuple[Set[str], Set[str]]:
+                canopy: Set[str] = {center_id}
+                removed: Set[str] = {center_id}
+                # Candidates arrive with their exact cosine already ≥ loose.
+                for candidate_id, candidate_score in tfidf.candidates_with_scores(
+                        center_id, loose):
+                    canopy.add(candidate_id)
+                    if candidate_score >= tight:
+                        removed.add(candidate_id)
+                return canopy, removed
+
+            return tfidf_canopy
+
+        if self.similarity is author_name_cheap_similarity:
+            scorer = ProfiledNameScorer(pindex.name_parts())
+
+            def profiled_canopy(center_id: str) -> Tuple[Set[str], Set[str]]:
+                canopy: Set[str] = {center_id}
+                removed: Set[str] = {center_id}
+                for candidate_id, candidate_score in scorer.canopy_scores(
+                        center_id, pindex.candidates(center_id), loose):
+                    canopy.add(candidate_id)
+                    if candidate_score >= tight:
+                        removed.add(candidate_id)
+                return canopy, removed
+
+            return profiled_canopy
+
+        similarity = self.similarity
+
+        def custom_canopy(center_id: str) -> Tuple[Set[str], Set[str]]:
+            canopy: Set[str] = {center_id}
+            removed: Set[str] = {center_id}
+            center = pindex.entity(center_id)
+            for candidate_id in pindex.candidates(center_id):
+                candidate_score = similarity(center, pindex.entity(candidate_id))
+                if candidate_score >= loose:
+                    canopy.add(candidate_id)
+                    if candidate_score >= tight:
+                        removed.add(candidate_id)
+            return canopy, removed
+
+        return custom_canopy
+
+    @staticmethod
+    def sweep(order: Sequence[str], canopy_fn: CanopyFn) -> List[Set[str]]:
+        """Sequential center sweep: the canonical canopy acceptance loop.
+
+        Walks ``order``, accepting each id still in the remaining pool as a
+        center and removing that canopy's tight-threshold members from the
+        pool.  The parallel cover builder reproduces exactly this acceptance
+        sequence with speculative waves.
+        """
+        remaining: Set[str] = set(order)
+        canopies: List[Set[str]] = []
+        for center_id in order:
+            if center_id not in remaining:
+                continue
+            canopy, removed = canopy_fn(center_id)
+            remaining -= removed
+            canopies.append(canopy)
+        return canopies
+
     # ----------------------------------------------------------------- cover
-    def build_cover(self, store: EntityStore) -> Cover:
+    def build_cover(self, store: EntityStore,
+                    profiles: Optional[EntityProfileIndex] = None) -> Cover:
         """Run the canopy algorithm and return the resulting cover.
 
         Entities of other types (when ``entity_type`` is set) are *not*
         included here; boundary expansion pulls them in afterwards.  Entities
         that end up in no canopy (no similar neighbour at all) each get a
         singleton neighborhood so the result is still a cover of the clustered
-        entity type.
+        entity type.  ``profiles`` may supply a prebuilt
+        :class:`~repro.similarity.profiles.EntityProfileIndex` covering
+        exactly the clustered entities.
         """
-        if self.entity_type is not None:
-            entities = store.entities_of_type(self.entity_type)
-        else:
-            entities = store.entities()
-        entities = sorted(entities, key=lambda e: e.entity_id)
-        by_id = {entity.entity_id: entity for entity in entities}
-        index = self._build_inverted_index(entities)
-
-        rng = random.Random(self.seed)
-        remaining: List[str] = [entity.entity_id for entity in entities]
-        rng.shuffle(remaining)
-        remaining_set: Set[str] = set(remaining)
-        assigned: Set[str] = set()
-
-        canopies: List[Set[str]] = []
-        position = 0
-        while position < len(remaining):
-            center_id = remaining[position]
-            position += 1
-            if center_id not in remaining_set:
-                continue
-            center = by_id[center_id]
-            canopy: Set[str] = {center_id}
-            removed: Set[str] = {center_id}
-            for candidate_id in self._candidates(center, index):
-                if candidate_id not in by_id:
-                    continue
-                score = self.similarity(center, by_id[candidate_id])
-                if score >= self.loose_threshold:
-                    canopy.add(candidate_id)
-                    if score >= self.tight_threshold:
-                        removed.add(candidate_id)
-            remaining_set -= removed
-            assigned.update(canopy)
-            canopies.append(canopy)
+        entities = self.clustered_entities(store)
+        canopy_fn = self.canopy_factory(entities, profiles)
+        canopies = self.sweep(self.shuffled_order(entities), canopy_fn)
 
         # Safety net: any entity never assigned to a canopy becomes a singleton.
+        assigned: Set[str] = set()
+        for canopy in canopies:
+            assigned |= canopy
         for entity in entities:
             if entity.entity_id not in assigned:
                 canopies.append({entity.entity_id})

@@ -47,12 +47,14 @@ class SortedNeighborhoodBlocker(Blocker):
         self.key = key
         self.entity_type = entity_type
 
-    def build_cover(self, store: EntityStore) -> Cover:
+    def build_cover(self, store: EntityStore, profiles=None) -> Cover:
         if self.entity_type is not None:
             entities = store.entities_of_type(self.entity_type)
         else:
             entities = store.entities()
-        ordered = sorted(entities, key=lambda e: (self.key(e), e.entity_id))
+        derive = self.key if profiles is None else \
+            (lambda entity: profiles.cached_key(self.key, entity))
+        ordered = sorted(entities, key=lambda e: (derive(e), e.entity_id))
         ids = [entity.entity_id for entity in ordered]
         if not ids:
             return Cover([])

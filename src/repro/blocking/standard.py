@@ -37,14 +37,16 @@ class StandardBlocker(Blocker):
         self.entity_type = entity_type
         self.max_block_size = max_block_size
 
-    def build_cover(self, store: EntityStore) -> Cover:
+    def build_cover(self, store: EntityStore, profiles=None) -> Cover:
         if self.entity_type is not None:
             entities = store.entities_of_type(self.entity_type)
         else:
             entities = store.entities()
+        derive = self.key if profiles is None else \
+            (lambda entity: profiles.cached_key(self.key, entity))
         blocks: Dict[str, List[str]] = {}
         for entity in sorted(entities, key=lambda e: e.entity_id):
-            blocks.setdefault(self.key(entity), []).append(entity.entity_id)
+            blocks.setdefault(derive(entity), []).append(entity.entity_id)
         groups: List[List[str]] = []
         for key in sorted(blocks):
             members = blocks[key]
@@ -72,11 +74,15 @@ class MultiPassBlocker(Blocker):
             raise ValueError("MultiPassBlocker needs at least one blocker")
         self.blockers = list(blockers)
 
-    def build_cover(self, store: EntityStore) -> Cover:
+    def build_cover(self, store: EntityStore, profiles=None) -> Cover:
+        if profiles is None:
+            # One shared index so the passes reuse cached keys/tokenizations.
+            from ..similarity.profiles import EntityProfileIndex
+            profiles = EntityProfileIndex(store.entities())
         neighborhoods: List[Neighborhood] = []
         seen_membership: Set[frozenset] = set()
         for pass_index, blocker in enumerate(self.blockers):
-            for neighborhood in blocker.build_cover(store):
+            for neighborhood in blocker.build_cover(store, profiles=profiles):
                 membership = frozenset(neighborhood.entity_ids)
                 if membership in seen_membership:
                     continue

@@ -30,23 +30,24 @@ class TokenBlocker(Blocker):
         self.max_block_size = max_block_size
         self.min_token_length = min_token_length
 
-    def _tokens(self, entity: Entity) -> Set[str]:
-        tokens: Set[str] = set()
-        for attribute in self.attributes:
-            tokens.update(word_tokens(str(entity.get(attribute, ""))))
+    def _tokens(self, entity: Entity, profiles=None) -> Set[str]:
+        if profiles is not None:
+            tokens: Set[str] = profiles.word_tokens_of(entity, self.attributes)
+        else:
+            tokens = set()
+            for attribute in self.attributes:
+                tokens.update(word_tokens(str(entity.get(attribute, ""))))
         return {t for t in tokens if len(t) >= self.min_token_length}
 
-    def build_cover(self, store: EntityStore) -> Cover:
+    def build_cover(self, store: EntityStore, profiles=None) -> Cover:
         if self.entity_type is not None:
             entities = store.entities_of_type(self.entity_type)
         else:
             entities = store.entities()
         blocks: Dict[str, List[str]] = {}
-        untokenised: List[str] = []
         for entity in sorted(entities, key=lambda e: e.entity_id):
-            tokens = self._tokens(entity)
+            tokens = self._tokens(entity, profiles)
             if not tokens:
-                untokenised.append(entity.entity_id)
                 continue
             for token in tokens:
                 blocks.setdefault(token, []).append(entity.entity_id)

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from . import __version__
-from .blocking import CanopyBlocker, build_total_cover
+from .blocking import CanopyBlocker, ParallelCoverBuilder, build_total_cover
 from .core import EMFramework
 from .datamodel import MatchSet
 from .datasets import (
@@ -69,6 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cover.add_argument("--dataset", type=Path, required=True)
     cover.add_argument("--loose", type=float, default=0.78, help="canopy loose threshold")
     cover.add_argument("--tight", type=float, default=0.92, help="canopy tight threshold")
+    cover.add_argument("--blocking-workers", type=int, default=None,
+                       help="build the cover through the parallel cover "
+                            "pipeline with this many workers (process pool); "
+                            "the cover is identical to the serial build")
 
     match = subparsers.add_parser("match", help="run a matcher under a message-passing scheme")
     match.add_argument("--dataset", type=Path, required=True)
@@ -80,6 +84,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "omit for the plain sequential scheme")
     match.add_argument("--workers", type=int, default=None,
                        help="pool size for --executor threads/processes")
+    match.add_argument("--blocking-workers", type=int, default=None,
+                       help="build the total cover through the parallel cover "
+                            "pipeline with this many workers (process pool)")
     match.add_argument("--output", type=Path, default=None,
                        help="write resolved clusters to this JSON file")
 
@@ -107,8 +114,16 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_cover(args: argparse.Namespace) -> int:
     dataset = _load(args.dataset)
+    if args.blocking_workers is not None and args.blocking_workers < 1:
+        raise SystemExit("--blocking-workers must be >= 1")
     blocker = CanopyBlocker(loose_threshold=args.loose, tight_threshold=args.tight)
-    cover = build_total_cover(blocker, dataset.store, relation_names=["coauthor"])
+    if args.blocking_workers is not None:
+        builder = ParallelCoverBuilder(blocker, executor="processes",
+                                       workers=args.blocking_workers,
+                                       relation_names=["coauthor"])
+        cover = builder.build_total_cover(dataset.store)
+    else:
+        cover = build_total_cover(blocker, dataset.store, relation_names=["coauthor"])
     print(format_key_values(cover.stats(), title="cover"))
     report = evaluate_cover(cover, dataset.true_matches(),
                             entity_count=len(dataset.store.entity_ids()))
@@ -119,8 +134,11 @@ def _command_cover(args: argparse.Namespace) -> int:
 def _command_match(args: argparse.Namespace) -> int:
     dataset = _load(args.dataset)
     matcher = _MATCHERS[args.matcher]()
+    if args.blocking_workers is not None and args.blocking_workers < 1:
+        raise SystemExit("--blocking-workers must be >= 1")
     framework = EMFramework(matcher, dataset.store,
-                            blocker=CanopyBlocker(), relation_names=["coauthor"])
+                            blocker=CanopyBlocker(), relation_names=["coauthor"],
+                            blocking_workers=args.blocking_workers)
     if args.scheme == "mmp" and not matcher.is_probabilistic:
         raise SystemExit(f"matcher {args.matcher!r} is not probabilistic; "
                          "mmp requires a Type-II matcher")

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional, Union
 
-from ..blocking import Blocker, CanopyBlocker, Cover, build_total_cover
+from ..blocking import Blocker, CanopyBlocker, Cover, ParallelCoverBuilder, build_total_cover
 from ..datamodel import EntityPair, EntityStore, Evidence, MatchSet
 from ..exceptions import ExperimentError, MatcherError
 from ..matchers import TypeIIMatcher, TypeIMatcher
@@ -42,7 +42,9 @@ class EMFramework:
     def __init__(self, matcher: TypeIMatcher, store: EntityStore,
                  cover: Optional[Cover] = None,
                  blocker: Optional[Blocker] = None,
-                 relation_names: Optional[Iterable[str]] = None):
+                 relation_names: Optional[Iterable[str]] = None,
+                 blocking_executor=None,
+                 blocking_workers: Optional[int] = None):
         self.matcher = matcher
         self.store = store
         if cover is not None:
@@ -55,8 +57,19 @@ class EMFramework:
                 # other relational evidence pass relation_names explicitly.
                 relation_names = ["coauthor"] if store.has_relation("coauthor") \
                     else store.relation_names()
-            self.cover = build_total_cover(chosen_blocker, store,
-                                           relation_names=relation_names)
+            if blocking_executor is not None or blocking_workers is not None:
+                # Parallel cover pipeline: sharded canopy waves + sharded
+                # boundary expansion, byte-identical to the serial build.
+                if blocking_executor is None:
+                    blocking_executor = "processes"
+                builder = ParallelCoverBuilder(chosen_blocker,
+                                               executor=blocking_executor,
+                                               workers=blocking_workers,
+                                               relation_names=relation_names)
+                self.cover = builder.build_total_cover(store)
+            else:
+                self.cover = build_total_cover(chosen_blocker, store,
+                                               relation_names=relation_names)
         self.cover.validate_covering(store)
         self._runner: Optional[NeighborhoodRunner] = None
 

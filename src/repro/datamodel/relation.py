@@ -119,6 +119,25 @@ class Relation:
         """All entity ids occurring in the relation."""
         return set(self._index)
 
+    def tuples_touching(self, entity_ids: Iterable[str]) -> Iterator[RelationTuple]:
+        """Tuples with at least one member in ``entity_ids``.
+
+        Walks whichever side is smaller: the members' per-entity tuple index
+        when the set is small, or the relation's tuples in one pass when the
+        set is larger than the relation.  Tuples shared by several members
+        may be yielded more than once on the index path — callers
+        accumulating into a set are unaffected.
+        """
+        members = entity_ids if isinstance(entity_ids, (set, frozenset)) \
+            else set(entity_ids)
+        if len(members) <= len(self._tuples):
+            for entity_id in members:
+                yield from self._index.get(entity_id, ())
+        else:
+            for tup in self._tuples:
+                if not members.isdisjoint(tup):
+                    yield tup
+
     # --------------------------------------------------------------- algebra
     def induced(self, entity_ids: Iterable[str]) -> "Relation":
         """``R(C)``: the sub-relation whose tuples lie entirely inside ``entity_ids``."""

@@ -9,11 +9,20 @@ from .executor import (
     make_executor,
 )
 from .grid import GridExecutor, GridRunResult
-from .partitioner import lpt_partition, makespan, random_partition, skew, total_work
+from .partitioner import (
+    AssignmentSummary,
+    lpt_partition,
+    makespan,
+    random_partition,
+    skew,
+    summarize,
+    total_work,
+)
 from .tasks import MapResult, MapTask, execute_map_task
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "AssignmentSummary",
     "Executor",
     "GridExecutor",
     "GridRunResult",
@@ -28,5 +37,6 @@ __all__ = [
     "makespan",
     "random_partition",
     "skew",
+    "summarize",
     "total_work",
 ]

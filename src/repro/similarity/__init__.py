@@ -19,14 +19,25 @@ from .name_similarity import (
 )
 from .ngram import character_ngrams, ngram_profile, ngram_similarity, word_tokens
 from .phonetic import metaphone_key, phonetic_equal, soundex
+from .profiles import (
+    EntityProfile,
+    EntityProfileIndex,
+    ProfiledNameScorer,
+    ProfiledTfIdfScorer,
+)
 from .registry import available, get, register
-from .tfidf import TfIdfVectorizer, cosine_similarity, tfidf_cosine
+from .tfidf import TfIdfPostingsIndex, TfIdfVectorizer, cosine_similarity, tfidf_cosine
 
 __all__ = [
     "DEFAULT_AUTHOR_SIMILARITY",
     "DEFAULT_LEVELS",
     "AuthorNameSimilarity",
+    "EntityProfile",
+    "EntityProfileIndex",
+    "ProfiledNameScorer",
+    "ProfiledTfIdfScorer",
     "SimilarityLevels",
+    "TfIdfPostingsIndex",
     "TfIdfVectorizer",
     "author_name_similarity",
     "available",

@@ -86,13 +86,17 @@ class AuthorNameSimilarity:
 
     def first_name_score(self, first_a: str, first_b: str) -> float:
         """Similarity of the first-name components."""
-        norm_a, norm_b = normalize_name_part(first_a), normalize_name_part(first_b)
+        return self.first_name_score_normalized(
+            normalize_name_part(first_a), normalize_name_part(first_b))
+
+    def first_name_score_normalized(self, norm_a: str, norm_b: str) -> float:
+        """First-name score from parts already passed through :func:`normalize_name_part`."""
         if not norm_a or not norm_b:
             # A missing first name is weak, ambiguous evidence.
             return self.missing_score
-        initial_a, initial_b = is_initial(first_a), is_initial(first_b)
+        initial_a, initial_b = len(norm_a) == 1, len(norm_b) == 1
         if initial_a or initial_b:
-            if not initials_compatible(first_a, first_b):
+            if norm_a[0] != norm_b[0]:
                 return self.initial_mismatch_score
             if initial_a and initial_b:
                 return self.initial_pair_score
@@ -102,14 +106,27 @@ class AuthorNameSimilarity:
     def last_name_score(self, last_a: str, last_b: str) -> float:
         return jaro_winkler_similarity(normalize_name_part(last_a), normalize_name_part(last_b))
 
+    def score_normalized(self, first_a: str, last_a: str,
+                         first_b: str, last_b: str) -> float:
+        """Combined score from already-normalised name parts.
+
+        This is the single arithmetic path both the plain entity scorer and
+        the profile-backed scorer (:mod:`repro.similarity.profiles`) go
+        through, so covers built from cached normalized parts are bitwise
+        identical to covers built from raw strings.
+        """
+        last_score = jaro_winkler_similarity(last_a, last_b)
+        first_score = self.first_name_score_normalized(first_a, first_b)
+        weight = self.last_name_weight
+        return weight * last_score + (1.0 - weight) * first_score
+
     def score(self, name_a: Tuple[str, str], name_b: Tuple[str, str]) -> float:
         """Combined score for two ``(fname, lname)`` tuples, in [0, 1]."""
         first_a, last_a = name_a
         first_b, last_b = name_b
-        last_score = self.last_name_score(last_a, last_b)
-        first_score = self.first_name_score(first_a, first_b)
-        weight = self.last_name_weight
-        return weight * last_score + (1.0 - weight) * first_score
+        return self.score_normalized(
+            normalize_name_part(first_a), normalize_name_part(last_a),
+            normalize_name_part(first_b), normalize_name_part(last_b))
 
     def score_entities(self, author_a, author_b) -> float:
         """Score two author :class:`~repro.datamodel.entity.Entity` objects."""

@@ -1,0 +1,377 @@
+"""Precomputed per-entity profiles for the blocking front end.
+
+Canopy construction (and the other blockers) repeatedly re-derive the same
+per-entity data from raw strings: tokenizations for the candidate index,
+normalized name parts for every similarity call, TF-IDF vectors for cosine
+scoring.  An :class:`EntityProfileIndex` computes each of these **once per
+entity** and the scorers on top memoize the pair-level work, so cover
+construction pays for string processing proportionally to the number of
+*distinct* names instead of the number of comparisons.
+
+Everything here is exact: the profiled scorers go through the same arithmetic
+as the raw-string paths (:meth:`AuthorNameSimilarity.score_normalized`,
+:func:`cosine_similarity`), so covers built from profiles are bitwise
+identical to covers built from raw strings — asserted by the parity tests in
+``tests/test_profiles.py``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..datamodel import Entity
+from .jaro import jaro_winkler_similarity
+from .name_similarity import DEFAULT_AUTHOR_SIMILARITY, AuthorNameSimilarity, normalize_name_part
+from .ngram import word_tokens
+from .tfidf import TfIdfPostingsIndex, TfIdfVectorizer, Tokenizer, default_tokenizer
+
+
+class EntityProfile:
+    """Cached derived data of one entity: text, tokens, normalized name parts.
+
+    Tokenization is lazy: blockers that only need keys or name parts (the
+    standard/sorted-neighborhood passes) never pay for it.
+    """
+
+    __slots__ = ("entity_id", "text", "norm_first", "norm_last",
+                 "_tokenizer", "_tokens", "_token_set")
+
+    def __init__(self, entity: Entity, text_attributes: Sequence[str],
+                 tokenizer: Tokenizer):
+        self.entity_id = entity.entity_id
+        parts = [str(entity.get(attr, "")) for attr in text_attributes]
+        self.text = " ".join(part for part in parts if part)
+        self.norm_first = normalize_name_part(str(entity.get("fname", "")))
+        self.norm_last = normalize_name_part(str(entity.get("lname", "")))
+        self._tokenizer = tokenizer
+        self._tokens: Optional[Tuple[str, ...]] = None
+        self._token_set: Optional[FrozenSet[str]] = None
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        if self._tokens is None:
+            self._tokens = tuple(self._tokenizer(self.text))
+        return self._tokens
+
+    @property
+    def token_set(self) -> FrozenSet[str]:
+        if self._token_set is None:
+            self._token_set = frozenset(self.tokens)
+        return self._token_set
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EntityProfile({self.entity_id!r}, text={self.text!r})"
+
+
+class EntityProfileIndex:
+    """Profiles plus a token → entity-ids postings index for one entity set.
+
+    The index is built for a fixed entity collection and text configuration
+    (the same view a blocker has of the store); :meth:`matches` lets a
+    blocker verify a caller-supplied index covers exactly its entity set
+    before trusting it.
+    """
+
+    def __init__(self, entities: Iterable[Entity],
+                 text_attributes: Sequence[str] = ("fname", "lname"),
+                 tokenizer: Tokenizer = default_tokenizer):
+        self.text_attributes = tuple(text_attributes)
+        self.tokenizer = tokenizer
+        self._profiles: Dict[str, EntityProfile] = {}
+        self._entities: Dict[str, Entity] = {}
+        self._postings: Optional[Dict[str, List[str]]] = None
+        for entity in sorted(entities, key=lambda e: e.entity_id):
+            self._profiles[entity.entity_id] = EntityProfile(
+                entity, self.text_attributes, tokenizer)
+            self._entities[entity.entity_id] = entity
+        self._key_cache: Dict[Tuple[Callable, Entity], object] = {}
+        self._word_token_cache: Dict[Tuple[Entity, Tuple[str, ...]], Set[str]] = {}
+        self._tfidf: Optional[ProfiledTfIdfScorer] = None
+        self._name_parts: Optional[Dict[str, Tuple[str, str]]] = None
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._profiles
+
+    def profile(self, entity_id: str) -> EntityProfile:
+        return self._profiles[entity_id]
+
+    def entity(self, entity_id: str) -> Entity:
+        return self._entities[entity_id]
+
+    def entity_ids(self) -> List[str]:
+        """All profiled entity ids, sorted."""
+        return list(self._profiles)
+
+    def matches(self, entity_ids: Iterable[str],
+                text_attributes: Sequence[str],
+                tokenizer: Tokenizer = default_tokenizer) -> bool:
+        """Whether this index was built for exactly this entity set and text config."""
+        return (self.text_attributes == tuple(text_attributes)
+                and self.tokenizer is tokenizer
+                and set(self._profiles) == set(entity_ids))
+
+    # -------------------------------------------------------------- candidates
+    @property
+    def postings(self) -> Dict[str, List[str]]:
+        """Token → sorted entity ids, built on first use."""
+        if self._postings is None:
+            postings: Dict[str, List[str]] = {}
+            for entity_id, profile in self._profiles.items():
+                for token in profile.token_set:
+                    postings.setdefault(token, []).append(entity_id)
+            self._postings = postings
+        return self._postings
+
+    def candidates(self, entity_id: str) -> Set[str]:
+        """Entities sharing at least one token with ``entity_id`` (excluding it)."""
+        postings = self.postings
+        out: Set[str] = set()
+        for token in self._profiles[entity_id].token_set:
+            out.update(postings.get(token, ()))
+        out.discard(entity_id)
+        return out
+
+    # -------------------------------------------------------------- key memos
+    def cached_key(self, key: Callable[[Entity], object], entity: Entity) -> object:
+        """Memoized blocking-key value, keyed by (key function, entity).
+
+        Lets multi-pass pipelines and repeated ``build_cover`` calls derive
+        each key once per entity instead of once per pass.  The entity itself
+        is the cache key (its equality includes the attributes), so an index
+        accidentally reused across stores that recycle entity ids can never
+        serve a stale key.
+        """
+        cache_key = (key, entity)
+        try:
+            return self._key_cache[cache_key]
+        except KeyError:
+            value = key(entity)
+            self._key_cache[cache_key] = value
+            return value
+
+    def word_tokens_of(self, entity: Entity, attributes: Sequence[str]) -> Set[str]:
+        """Memoized union of :func:`word_tokens` over the given attributes."""
+        cache_key = (entity, tuple(attributes))
+        try:
+            return self._word_token_cache[cache_key]
+        except KeyError:
+            tokens: Set[str] = set()
+            for attribute in attributes:
+                tokens.update(word_tokens(str(entity.get(attribute, ""))))
+            self._word_token_cache[cache_key] = tokens
+            return tokens
+
+    # ------------------------------------------------------------------ tfidf
+    @property
+    def tfidf(self) -> "ProfiledTfIdfScorer":
+        """Lazily built TF-IDF scorer over the profiled texts."""
+        if self._tfidf is None:
+            self._tfidf = ProfiledTfIdfScorer(self)
+        return self._tfidf
+
+    def name_parts(self) -> Dict[str, Tuple[str, str]]:
+        """``entity_id → (norm_first, norm_last)`` — the picklable payload the
+        parallel cover builder ships to worker processes."""
+        if self._name_parts is None:
+            self._name_parts = {entity_id: (profile.norm_first, profile.norm_last)
+                                for entity_id, profile in self._profiles.items()}
+        return self._name_parts
+
+
+class ProfiledNameScorer:
+    """Memoized :class:`AuthorNameSimilarity` scoring over cached name parts.
+
+    Scores are computed with :meth:`AuthorNameSimilarity.score_normalized`
+    semantics but every Jaro-Winkler call is memoized on the (canonically
+    ordered) normalized part pair — duplicate renderings of the same author
+    across sources make the hit rate very high on bibliographic data.
+
+    :meth:`score_at_least` adds the sound upper-bound prune: the first-name
+    component is at most 1, so a pair whose last-name score alone cannot
+    reach the threshold is rejected without touching the first names.
+    """
+
+    def __init__(self, parts: Mapping[str, Tuple[str, str]],
+                 similarity: AuthorNameSimilarity = DEFAULT_AUTHOR_SIMILARITY):
+        #: ``entity_id → (norm_first, norm_last)`` — see
+        #: :meth:`EntityProfileIndex.name_parts`.
+        self.parts = parts
+        self.similarity = similarity
+        self._last_memo: Dict[Tuple[str, str], float] = {}
+        self._last_bound: Dict[Tuple[str, str], float] = {}
+        self._first_memo: Dict[Tuple[str, str], float] = {}
+        self._char_counts: Dict[str, Dict[str, int]] = {}
+
+    def _char_counts_of(self, text: str) -> Dict[str, int]:
+        counts = self._char_counts.get(text)
+        if counts is None:
+            counts = {}
+            for char in text:
+                counts[char] = counts.get(char, 0) + 1
+            self._char_counts[text] = counts
+        return counts
+
+    def jaro_winkler_upper_bound(self, a: str, b: str) -> float:
+        """A cheap, sound upper bound on ``jaro_winkler_similarity(a, b)``.
+
+        Jaro's matched characters form a common sub-multiset of the two
+        strings, so the multiset-intersection size bounds the match count;
+        with zero transpositions assumed and the exact common-prefix length,
+        the Winkler formula applied to that bound dominates the true score.
+        When the bound is tight (all common characters match in order) the
+        arithmetic below is the *same expression* the real implementation
+        evaluates, so thresholding on the bound never disagrees with
+        thresholding on the score.
+        """
+        if a == b:
+            return 1.0
+        if not a or not b:
+            return 0.0
+        counts_a = self._char_counts_of(a)
+        counts_b = self._char_counts_of(b)
+        if len(counts_b) < len(counts_a):
+            counts_a, counts_b = counts_b, counts_a
+        get_b = counts_b.get
+        matches_bound = sum(min(count, get_b(char, 0))
+                            for char, count in counts_a.items())
+        if matches_bound == 0:
+            return 0.0
+        jaro_bound = (matches_bound / len(a) + matches_bound / len(b) + 1.0) / 3.0
+        prefix_length = 0
+        for char_a, char_b in zip(a[:4], b[:4]):
+            if char_a != char_b:
+                break
+            prefix_length += 1
+        return min(jaro_bound + prefix_length * 0.1 * (1.0 - jaro_bound), 1.0)
+
+    def _memo_jw(self, a: str, b: str) -> float:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._last_memo[key]
+        except KeyError:
+            value = jaro_winkler_similarity(a, b)
+            self._last_memo[key] = value
+            return value
+
+    def _memo_first(self, a: str, b: str) -> float:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._first_memo[key]
+        except KeyError:
+            value = self.similarity.first_name_score_normalized(a, b)
+            self._first_memo[key] = value
+            return value
+
+    def score(self, id_a: str, id_b: str) -> float:
+        first_a, last_a = self.parts[id_a]
+        first_b, last_b = self.parts[id_b]
+        last_score = self._memo_jw(last_a, last_b)
+        first_score = self._memo_first(first_a, first_b)
+        weight = self.similarity.last_name_weight
+        return weight * last_score + (1.0 - weight) * first_score
+
+    def score_at_least(self, id_a: str, id_b: str,
+                       threshold: float) -> Optional[float]:
+        """The exact score, or ``None`` when it falls below ``threshold``.
+
+        Pairs whose last-name component alone cannot reach the threshold
+        (``weight·last + (1−weight)·1 < threshold``) are rejected without
+        computing the first-name component at all.
+        """
+        first_a, last_a = self.parts[id_a]
+        first_b, last_b = self.parts[id_b]
+        last_score = self._memo_jw(last_a, last_b)
+        weight = self.similarity.last_name_weight
+        if weight * last_score + (1.0 - weight) < threshold:
+            return None
+        first_score = self._memo_first(first_a, first_b)
+        score = weight * last_score + (1.0 - weight) * first_score
+        return score if score >= threshold else None
+
+    def canopy_scores(self, center_id: str, candidate_ids: Iterable[str],
+                      threshold: float) -> Iterator[Tuple[str, float]]:
+        """Batch :meth:`score_at_least` for one canopy center.
+
+        Yields only the ``(candidate_id, score)`` pairs reaching
+        ``threshold``.  Semantically identical to calling
+        :meth:`score_at_least` per candidate; the memo lookups are inlined
+        because this loop dominates profiled canopy construction.
+        """
+        parts = self.parts
+        first_a, last_a = parts[center_id]
+        weight = self.similarity.last_name_weight
+        complement = 1.0 - weight
+        last_memo, first_memo = self._last_memo, self._first_memo
+        last_bound = self._last_bound
+        similarity = self.similarity
+        for candidate_id in candidate_ids:
+            first_b, last_b = parts[candidate_id]
+            last_key = (last_a, last_b) if last_a <= last_b else (last_b, last_a)
+            last_score = last_memo.get(last_key)
+            if last_score is None:
+                # Sound two-stage prune: a cheap upper bound on the last-name
+                # Jaro-Winkler rejects most non-matching pairs before the
+                # exact O(|a|·|b|) computation is ever paid.
+                bound = last_bound.get(last_key)
+                if bound is None:
+                    bound = self.jaro_winkler_upper_bound(last_a, last_b)
+                    last_bound[last_key] = bound
+                if weight * bound + complement < threshold:
+                    continue
+                last_score = jaro_winkler_similarity(last_a, last_b)
+                last_memo[last_key] = last_score
+            if weight * last_score + complement < threshold:
+                continue
+            first_key = (first_a, first_b) if first_a <= first_b else (first_b, first_a)
+            first_score = first_memo.get(first_key)
+            if first_score is None:
+                first_score = similarity.first_name_score_normalized(first_a, first_b)
+                first_memo[first_key] = first_score
+            score = weight * last_score + complement * first_score
+            if score >= threshold:
+                yield candidate_id, score
+
+
+class ProfiledTfIdfScorer:
+    """TF-IDF cosine scoring over profiles, with pruned candidate search.
+
+    The vectorizer is fitted once on all profiled texts (sorted entity-id
+    order), vectors come from :meth:`TfIdfVectorizer.transform_many`, and
+    candidate generation goes through :class:`TfIdfPostingsIndex` so a canopy
+    center gets back ``(entity_id, cosine)`` pairs directly instead of ids to
+    re-score.
+    """
+
+    def __init__(self, index: EntityProfileIndex):
+        entity_ids = index.entity_ids()
+        self.vectorizer = TfIdfVectorizer(index.tokenizer).fit(
+            index.profile(entity_id).text for entity_id in entity_ids)
+        vectors = self.vectorizer.transform_many(
+            index.profile(entity_id).text for entity_id in entity_ids)
+        self._vectors: Dict[str, Mapping[str, float]] = dict(zip(entity_ids, vectors))
+        self.postings = TfIdfPostingsIndex(self._vectors)
+
+    def vector(self, entity_id: str) -> Mapping[str, float]:
+        return self._vectors[entity_id]
+
+    def candidates_with_scores(self, entity_id: str,
+                               threshold: float) -> List[Tuple[str, float]]:
+        """All ``(other_id, cosine)`` with cosine ≥ ``threshold``, sorted by id."""
+        return self.postings.search(self._vectors[entity_id], threshold,
+                                    exclude=entity_id)

@@ -9,8 +9,8 @@ that the canopy builder can use without any external dependencies.
 from __future__ import annotations
 
 import math
-from collections import Counter
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from collections import Counter, OrderedDict
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .ngram import character_ngrams, word_tokens
 
@@ -68,9 +68,28 @@ class TfIdfVectorizer:
             return {}
         return {token: weight / norm for token, weight in vector.items()}
 
+    def transform_many(self, texts: Iterable[str]) -> List[Dict[str, float]]:
+        """Batch :meth:`transform`, caching repeated texts.
+
+        Corpora of names contain many verbatim duplicates (the same rendering
+        of an author in several sources), so one tokenize-and-normalise per
+        distinct string is a real saving over per-text :meth:`transform`.
+        """
+        if not self._fitted:
+            raise RuntimeError("TfIdfVectorizer.transform_many called before fit")
+        seen: Dict[str, Dict[str, float]] = {}
+        vectors: List[Dict[str, float]] = []
+        for text in texts:
+            vector = seen.get(text)
+            if vector is None:
+                vector = self.transform(text)
+                seen[text] = vector
+            vectors.append(vector)
+        return vectors
+
     def fit_transform(self, corpus: Sequence[str]) -> List[Dict[str, float]]:
         self.fit(corpus)
-        return [self.transform(text) for text in corpus]
+        return self.transform_many(corpus)
 
 
 def cosine_similarity(vector_a: Mapping[str, float], vector_b: Mapping[str, float]) -> float:
@@ -80,13 +99,107 @@ def cosine_similarity(vector_a: Mapping[str, float], vector_b: Mapping[str, floa
     return sum(weight * vector_b.get(token, 0.0) for token, weight in vector_a.items())
 
 
+class TfIdfPostingsIndex:
+    """Inverted token → (key, weight) postings over L2-normalised vectors.
+
+    Built once from a collection of TF-IDF vectors, the index answers
+    "all keys whose cosine with this query can reach ``threshold``" without
+    touching most of the collection.  The pruning is the PPJoin-style
+    upper-bound argument: with query tokens processed in descending weight
+    order, a document first encountered at position ``i`` can contribute at
+    most the L2 norm of the query's remaining suffix (both sides are unit
+    vectors), so once that suffix norm drops below the threshold no *new*
+    candidate can qualify and the remaining — typically longest — postings
+    lists are never scanned for admission.
+
+    The index only *prunes*; surviving candidates are re-scored exactly with
+    :func:`cosine_similarity`, so results are bitwise identical to the naive
+    all-pairs scan over the same vectors.
+    """
+
+    def __init__(self, vectors: Mapping[str, Mapping[str, float]]):
+        self._vectors: Dict[str, Mapping[str, float]] = dict(vectors)
+        self._postings: Dict[str, List[Tuple[str, float]]] = {}
+        for key in sorted(self._vectors):
+            for token, weight in self._vectors[key].items():
+                self._postings.setdefault(token, []).append((key, weight))
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def vector(self, key: str) -> Mapping[str, float]:
+        return self._vectors[key]
+
+    def search(self, query: Mapping[str, float], threshold: float,
+               exclude: Optional[str] = None) -> List[Tuple[str, float]]:
+        """``(key, cosine)`` for every key with cosine ≥ ``threshold``.
+
+        ``exclude`` drops one key (the query's own id during canopy
+        construction).  Results are sorted by key for determinism.
+        """
+        if not query:
+            return []
+        # Descending weight puts the high-IDF (rare, short-postings) tokens
+        # first, so the suffix bound collapses before the common tokens'
+        # long postings lists are reached.
+        ordered = sorted(query.items(), key=lambda item: (-item[1], item[0]))
+        suffix = [0.0] * (len(ordered) + 1)
+        for index in range(len(ordered) - 1, -1, -1):
+            weight = ordered[index][1]
+            suffix[index] = math.sqrt(suffix[index + 1] ** 2 + weight * weight)
+        admitted: set = set()
+        for index, (token, _) in enumerate(ordered):
+            if suffix[index] < threshold:
+                # A document first seen from here on contributes at most the
+                # suffix norm — below the threshold, so no new candidate can
+                # qualify and the remaining (typically longest) postings
+                # lists are never scanned.
+                break
+            for key, _doc_weight in self._postings.get(token, ()):
+                if key != exclude:
+                    admitted.add(key)
+        results: List[Tuple[str, float]] = []
+        for key in sorted(admitted):
+            # Exact re-score through the same code path the naive scan uses,
+            # so pruning never shifts a borderline score across the threshold.
+            score = cosine_similarity(query, self._vectors[key])
+            if score >= threshold:
+                results.append((key, score))
+        return results
+
+
+#: Small content-keyed LRU of fitted vectorizers for :func:`tfidf_cosine`.
+_COSINE_CACHE: "OrderedDict[Tuple, TfIdfVectorizer]" = OrderedDict()
+_COSINE_CACHE_SIZE = 8
+
+
 def tfidf_cosine(a: str, b: str, corpus: Iterable[str] = (),
                  tokenizer: Tokenizer = default_tokenizer) -> float:
     """One-shot TF-IDF cosine between two strings.
 
-    When ``corpus`` is empty the two strings themselves form the corpus; for
-    repeated comparisons prefer building a :class:`TfIdfVectorizer` once.
+    When the same ``corpus`` is passed repeatedly (by content; re-passing the
+    same list object is the common case) the fitted vectorizer is memoized in
+    a small LRU, so repeated one-shot calls only pay the fit once.
+
+    When ``corpus`` is empty the two strings themselves form the corpus.
+    That fallback yields *degenerate* IDF weights: with two documents every
+    shared token gets the minimum weight ``log(3/3) + 1 = 1`` and every
+    unique token ``log(3/2) + 1``, so the score mostly reflects raw token
+    overlap rather than corpus-calibrated rarity.  For repeated comparisons
+    prefer building a :class:`TfIdfVectorizer` on a real corpus once.
     """
-    corpus_list = list(corpus) or [a, b]
-    vectorizer = TfIdfVectorizer(tokenizer).fit(corpus_list)
+    corpus_list = list(corpus)
+    if not corpus_list:
+        # Not worth caching: the two-string fallback corpus changes per call.
+        vectorizer = TfIdfVectorizer(tokenizer).fit([a, b])
+        return cosine_similarity(vectorizer.transform(a), vectorizer.transform(b))
+    key = (tokenizer, tuple(corpus_list))
+    vectorizer = _COSINE_CACHE.get(key)
+    if vectorizer is None:
+        vectorizer = TfIdfVectorizer(tokenizer).fit(corpus_list)
+        _COSINE_CACHE[key] = vectorizer
+        if len(_COSINE_CACHE) > _COSINE_CACHE_SIZE:
+            _COSINE_CACHE.popitem(last=False)
+    else:
+        _COSINE_CACHE.move_to_end(key)
     return cosine_similarity(vectorizer.transform(a), vectorizer.transform(b))

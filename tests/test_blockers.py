@@ -132,6 +132,39 @@ class TestTokenBlocker:
             TokenBlocker(max_block_size=1)
 
 
+class TestProfilesParameter:
+    """Every blocker must produce the same cover with a shared profile index."""
+
+    def signature(self, cover):
+        return [(n.name, tuple(sorted(n.entity_ids))) for n in cover]
+
+    def test_blockers_unchanged_by_shared_profiles(self):
+        from repro.similarity import EntityProfileIndex
+        store = name_store()
+        profiles = EntityProfileIndex(store.entities())
+        for blocker in (
+            CanopyBlocker(),
+            StandardBlocker(key=last_name_soundex_key),
+            SortedNeighborhoodBlocker(window_size=3),
+            TokenBlocker(attributes=("lname",)),
+        ):
+            plain = self.signature(blocker.build_cover(store))
+            shared = self.signature(blocker.build_cover(store, profiles=profiles))
+            assert plain == shared, type(blocker).__name__
+
+    def test_multi_pass_shares_one_index(self):
+        from repro.similarity import EntityProfileIndex
+        store = name_store()
+        multi = MultiPassBlocker([
+            StandardBlocker(key=last_name_soundex_key),
+            SortedNeighborhoodBlocker(window_size=3),
+            TokenBlocker(attributes=("lname",)),
+        ])
+        profiles = EntityProfileIndex(store.entities())
+        assert self.signature(multi.build_cover(store)) == \
+            self.signature(multi.build_cover(store, profiles=profiles))
+
+
 class TestMultiPassBlocker:
     def test_union_of_passes(self):
         store = name_store()

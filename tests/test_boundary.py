@@ -49,6 +49,29 @@ class TestBoundary:
         boundary = neighborhood_boundary(store, {"a1"})
         assert boundary == {"b1", "p1"}
 
+    def test_boundary_identical_for_small_and_large_member_sets(self):
+        # tuples_touching walks the smaller side; both traversals must agree.
+        store = relational_store()
+        small = neighborhood_boundary(store, {"a1"}, ["coauthor"])
+        large = neighborhood_boundary(store, set(store.entity_ids()) - {"b1"},
+                                      ["coauthor"])
+        assert small == {"b1"}
+        assert large == {"b1"}
+
+    def test_expand_members_frontier_matches_full_rescan(self):
+        from repro.blocking import expand_members, relations_boundary
+        store = relational_store()
+        relations = [store.relation(name) for name in store.relation_names()]
+        members = {"a1"}
+        # Reference: re-expand the full member set every round.
+        reference = set(members)
+        for _ in range(3):
+            boundary = relations_boundary(relations, reference)
+            if not boundary:
+                break
+            reference |= boundary
+        assert expand_members(relations, {"a1"}, rounds=3) == reference
+
 
 class TestExpandToTotalCover:
     def test_coauthor_tuples_become_covered(self):

@@ -66,6 +66,25 @@ class TestPartitioner:
         with pytest.raises(ValueError):
             lpt_partition(self.TASKS, 0)
 
+    def test_summarize_matches_individual_helpers(self):
+        from repro.parallel import summarize
+        assignment = random_partition(self.TASKS, workers=3, seed=2)
+        summary = summarize(assignment)
+        assert summary.makespan == pytest.approx(makespan(assignment))
+        assert summary.skew == pytest.approx(skew(assignment))
+        assert summary.total_work == pytest.approx(total_work(self.TASKS))
+
+    def test_summarize_empty_assignment(self):
+        from repro.parallel import summarize
+        summary = summarize([])
+        assert (summary.makespan, summary.skew, summary.total_work) == (0.0, 1.0, 0.0)
+
+    def test_summarize_all_idle_workers(self):
+        from repro.parallel import summarize
+        summary = summarize([[], []])
+        assert summary.makespan == 0.0
+        assert summary.skew == 1.0
+
 
 class TestGridExecutor:
     def test_grid_smp_matches_sequential_smp(self):
