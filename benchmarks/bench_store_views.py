@@ -1,0 +1,244 @@
+"""Bench: restrict cost and task-payload bytes, dict vs compact store backend.
+
+PR 4 introduced the compact columnar storage backend
+(:class:`~repro.datamodel.CompactStore` + zero-copy
+:class:`~repro.datamodel.StoreView`): ``restrict()`` becomes O(1) view
+construction over shared flat arrays, and the grid executor broadcasts the
+snapshot (and the matcher) once per worker so each per-round map task ships
+only integer member lists and int-encoded evidence instead of a pickled
+restricted sub-store.  This bench records, per workload:
+
+* **restrict cost** — building every neighborhood's restricted store, for
+  both the deep-copying dict backend and the lazy view backend (plus a
+  ``restrict+read`` variant that also reads each neighborhood's candidate
+  pairs, since views defer work to the first read);
+* **per-round task-payload bytes** — the summed pickled size of one full
+  round of map tasks under each backend, plus the one-time broadcast cost
+  of the compact snapshot (paid once per worker, not per task or round);
+* **match parity** — the grid executor must produce byte-identical match
+  sets across both backends, serial and process executors, and every scheme
+  of the config.
+
+The acceptance gate of PR 4 (and the CI smoke step) is a **≥ 3x reduction in
+per-round task-payload bytes** with intact parity.
+
+Run standalone (this is what the CI perf-smoke step does)::
+
+    PYTHONPATH=src python benchmarks/bench_store_views.py --smoke --check
+
+or through pytest together with the other benches::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q -s bench_store_views.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.blocking import CanopyBlocker, build_total_cover
+from repro.datamodel import CompactStore
+from repro.datasets import dblp_like, hepth_like
+from repro.matchers import MLNMatcher
+from repro.parallel.grid import GridExecutor
+from repro.parallel.tasks import CompactMapTask, MapTask
+
+#: Named workload sizes.  ``smoke`` is the CI gate (seconds); ``default`` is
+#: the recorded trajectory point on the dblp default config.
+CONFIGS: Dict[str, Dict] = {
+    "smoke": {"workloads": [("hepth", 0.4)], "repeats": 1, "workers": 2,
+              "schemes": ["smp"]},
+    "default": {"workloads": [("dblp", 1.0)], "repeats": 2, "workers": 4,
+                "schemes": ["no-mp", "smp", "mmp"]},
+}
+
+_PRESETS = {"hepth": hepth_like, "dblp": dblp_like}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_store.json"
+
+RELATIONS = ["coauthor"]
+
+#: The acceptance gate: dict payload bytes / compact payload bytes.
+PAYLOAD_REDUCTION_TARGET = 3.0
+
+
+def best_of(repeats: int, measure) -> float:
+    return min(measure() for _ in range(repeats))
+
+
+def time_restrict(store, cover, read: bool) -> float:
+    """Seconds to build every neighborhood's restricted store (optionally
+    also reading its candidate pairs, which is what a map task needs)."""
+    started = time.perf_counter()
+    for neighborhood in cover:
+        restricted = store.restrict(neighborhood.entity_ids)
+        if read:
+            restricted.similar_pairs()
+    return time.perf_counter() - started
+
+
+def payload_bytes(store, cover, matcher) -> Dict[str, int]:
+    """Pickled size of one full round of map tasks under each task shape."""
+    compact = store if isinstance(store, CompactStore) else None
+    total = 0
+    for neighborhood in cover:
+        if compact is not None:
+            task = CompactMapTask(
+                name=neighborhood.name, snapshot=compact.snapshot_token,
+                matcher_key=compact.snapshot_token + "/matcher",
+                members=compact.indices_for(neighborhood.entity_ids),
+                evidence=())
+        else:
+            task = MapTask(name=neighborhood.name, matcher=matcher,
+                           store=store.restrict(neighborhood.entity_ids),
+                           evidence=frozenset())
+        total += len(pickle.dumps(task))
+    out = {"round_task_bytes": total}
+    if compact is not None:
+        # Broadcast once per worker at pool spawn, never per task or round.
+        out["broadcast_bytes"] = len(pickle.dumps(compact)) + \
+            len(pickle.dumps(matcher))
+    return out
+
+
+def run_workload(preset: str, scale: float, repeats: int, workers: int,
+                 schemes: List[str]) -> Dict:
+    store = _PRESETS[preset](scale=scale).store
+    compact = CompactStore.from_store(store)
+    cover = build_total_cover(CanopyBlocker(), store, relation_names=RELATIONS)
+
+    seconds: Dict[str, float] = {}
+    seconds["restrict_dict"] = best_of(
+        repeats, lambda: time_restrict(store, cover, read=False))
+    seconds["restrict_compact"] = best_of(
+        repeats, lambda: time_restrict(compact, cover, read=False))
+    seconds["restrict_read_dict"] = best_of(
+        repeats, lambda: time_restrict(store, cover, read=True))
+    seconds["restrict_read_compact"] = best_of(
+        repeats, lambda: time_restrict(compact, cover, read=True))
+
+    payloads = {
+        "dict": payload_bytes(store, cover, MLNMatcher()),
+        "compact": payload_bytes(compact, cover, MLNMatcher()),
+    }
+
+    # Match parity: every scheme, both backends, serial and process executors.
+    parity = True
+    scheme_matches: Dict[str, int] = {}
+    for scheme in schemes:
+        reference = GridExecutor(scheme=scheme).run(
+            MLNMatcher(), store, cover).matches
+        scheme_matches[scheme] = len(reference)
+        for backend_store in (store, compact):
+            for executor in ("serial", "processes"):
+                result = GridExecutor(scheme=scheme, executor=executor,
+                                      workers=workers).run(
+                    MLNMatcher(), backend_store, cover)
+                if result.matches != reference:
+                    parity = False
+
+    dict_bytes = payloads["dict"]["round_task_bytes"]
+    compact_bytes = payloads["compact"]["round_task_bytes"]
+    return {
+        "preset": preset,
+        "scale": scale,
+        "entities": len(store.entity_ids()),
+        "neighborhoods": len(cover.names()),
+        "schemes": schemes,
+        "matches": scheme_matches,
+        "seconds": {key: round(value, 6) for key, value in sorted(seconds.items())},
+        "payload_bytes": payloads,
+        "payload_reduction": round(dict_bytes / compact_bytes, 2)
+        if compact_bytes else float("inf"),
+        "restrict_speedup": round(
+            seconds["restrict_dict"] / seconds["restrict_compact"], 2)
+        if seconds["restrict_compact"] > 0 else float("inf"),
+        "matches_identical": parity,
+    }
+
+
+def run_bench(config_name: str) -> Dict:
+    config = CONFIGS[config_name]
+    workers = min(config["workers"], os.cpu_count() or 1)
+    workloads = [
+        run_workload(preset, scale, config["repeats"], workers,
+                     config["schemes"])
+        for preset, scale in config["workloads"]
+    ]
+    return {
+        "bench": "store_views",
+        "config": {"name": config_name, "repeats": config["repeats"],
+                   "workers": workers, "schemes": config["schemes"]},
+        "workloads": workloads,
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """The CI gate: ≥3x payload reduction and byte-identical match sets."""
+    failures = []
+    for workload in report["workloads"]:
+        label = f"{workload['preset']}@{workload['scale']}"
+        if not workload["matches_identical"]:
+            failures.append(
+                f"{label}: match sets differ across backends/executors")
+        if workload["payload_reduction"] < PAYLOAD_REDUCTION_TARGET:
+            failures.append(
+                f"{label}: per-round task payload reduction "
+                f"{workload['payload_reduction']}x is below the "
+                f"{PAYLOAD_REDUCTION_TARGET}x target")
+    return failures
+
+
+# -------------------------------------------------------------- entrypoints
+def test_compact_payloads_smoke():
+    """Pytest entry point: the smoke config must pass the CI gate."""
+    report = run_bench("smoke")
+    print()
+    print(json.dumps(report, indent=2))
+    assert not check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="default")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorthand for --config smoke")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT}; gate-only runs "
+                             "with --check and no --output write nothing)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the compact backend cuts "
+                             "per-round task payloads by >= "
+                             f"{PAYLOAD_REDUCTION_TARGET}x with identical "
+                             "match sets")
+    args = parser.parse_args(argv)
+    config = "smoke" if args.smoke else args.config
+
+    report = run_bench(config)
+    print(json.dumps(report, indent=2))
+    # A bare --check run is a gate, not a recording — don't clobber the
+    # committed trajectory file with off-config numbers.
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {output}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,27 @@ def relations_boundary(relations: Sequence[Relation], members: Set[str]) -> Set[
     return boundary - members
 
 
+def _shared_interner(relations: Sequence[Relation]):
+    """The common id interner when *all* relations are compact, else ``None``.
+
+    :class:`~repro.datamodel.CompactRelation` objects built from one
+    :class:`~repro.datamodel.CompactStore` share the store's interner; when a
+    neighborhood is expanded against such relations the whole multi-round
+    expansion can run in integer space (one CSR walk per round, no string
+    re-keying) and decode once at the end.
+    """
+    interner = None
+    for relation in relations:
+        candidate = getattr(relation, "interner", None)
+        if candidate is None:
+            return None
+        if interner is None:
+            interner = candidate
+        elif candidate is not interner:
+            return None
+    return interner
+
+
 def expand_members(relations: Sequence[Relation], entity_ids: Iterable[str],
                    rounds: int = 1) -> Set[str]:
     """``rounds`` rounds of boundary expansion of one neighborhood's members.
@@ -46,7 +67,35 @@ def expand_members(relations: Sequence[Relation], entity_ids: Iterable[str],
     relation partners, so re-scanning it in round ``k + 1`` cannot add
     anything new.  The result is identical to re-expanding the full member
     set every round.
+
+    When every relation is a :class:`~repro.datamodel.CompactRelation` over
+    one shared interner the expansion runs in the interned integer space and
+    decodes the member set once at the end (same result, asserted by
+    ``tests/test_compact_store.py``).
     """
+    interner = _shared_interner(relations)
+    if interner is not None:
+        # Ids outside the snapshot can touch no tuple; like the string path,
+        # they pass through into the result untouched.
+        int_members: Set[int] = set()
+        unknown: Set[str] = set()
+        for entity_id in entity_ids:
+            if entity_id in interner:
+                int_members.add(interner.index_of(entity_id))
+            else:
+                unknown.add(entity_id)
+        int_frontier = int_members
+        for _ in range(rounds):
+            touched: Set[int] = set()
+            for relation in relations:
+                touched |= relation.member_indices_touching(int_frontier)
+            fresh_indices = touched - int_members
+            if not fresh_indices:
+                break
+            int_members |= fresh_indices
+            int_frontier = fresh_indices
+        return set(interner.ids_of(int_members)) | unknown
+
     members: Set[str] = set(entity_ids)
     frontier = members
     for _ in range(rounds):

@@ -234,6 +234,46 @@ class CanopyBlocker(Blocker):
 
         return custom_canopy
 
+    # ----------------------------------------------------------- interned path
+    def _interner_for(self, store: EntityStore):
+        """The store's id interner when the interned fast path applies.
+
+        The interned path covers the default profiled author-name mode over a
+        :class:`~repro.datamodel.CompactStore`: candidate generation and the
+        center sweep then run entirely in the snapshot's integer id space
+        (``similarity/profiles.InternedProfileSpace``) and only the final
+        canopies are decoded back to entity ids.  Scores go through the same
+        :class:`ProfiledNameScorer` arithmetic, so covers are identical to
+        the string-keyed path (asserted in ``tests/test_compact_store.py``).
+        """
+        if not self.use_profiles or self.similarity is not author_name_cheap_similarity:
+            return None
+        return getattr(store, "interner", None)
+
+    def _interned_canopies(self, entities: Sequence[Entity], interner,
+                           profiles: Optional[EntityProfileIndex] = None
+                           ) -> List[Set[str]]:
+        """Canopy sweep in integer id space; canopies decoded at the end."""
+        index = self.profile_index(entities, profiles)
+        space = index.interned_space(interner)
+        scorer = ProfiledNameScorer(space.parts)
+        loose, tight = self.loose_threshold, self.tight_threshold
+
+        def interned_canopy(center: int) -> Tuple[Set[int], Set[int]]:
+            canopy: Set[int] = {center}
+            removed: Set[int] = {center}
+            for candidate, score in scorer.canopy_scores(
+                    center, space.candidates(center), loose):
+                canopy.add(candidate)
+                if score >= tight:
+                    removed.add(candidate)
+            return canopy, removed
+
+        order = [interner.index_of(entity_id)
+                 for entity_id in self.shuffled_order(entities)]
+        return [space.decode(canopy)
+                for canopy in self.sweep(order, interned_canopy)]
+
     @staticmethod
     def sweep(order: Sequence[str], canopy_fn: CanopyFn) -> List[Set[str]]:
         """Sequential center sweep: the canonical canopy acceptance loop.
@@ -267,8 +307,12 @@ class CanopyBlocker(Blocker):
         exactly the clustered entities.
         """
         entities = self.clustered_entities(store)
-        canopy_fn = self.canopy_factory(entities, profiles)
-        canopies = self.sweep(self.shuffled_order(entities), canopy_fn)
+        interner = self._interner_for(store)
+        if interner is not None:
+            canopies = self._interned_canopies(entities, interner, profiles)
+        else:
+            canopy_fn = self.canopy_factory(entities, profiles)
+            canopies = self.sweep(self.shuffled_order(entities), canopy_fn)
 
         # Safety net: any entity never assigned to a canopy becomes a singleton.
         assigned: Set[str] = set()

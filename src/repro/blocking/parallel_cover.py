@@ -46,13 +46,13 @@ FrozenSetPair = Tuple[frozenset, frozenset]
 FrozenSetMembers = frozenset
 
 
-def score_canopy_chunk(center_ids: Sequence[str],
-                       center_tokens: Mapping[str, Tuple[str, ...]],
-                       parts: Mapping[str, Tuple[str, str]],
-                       postings: Mapping[str, Sequence[str]],
+def score_canopy_chunk(center_ids: Sequence,
+                       center_tokens: Mapping,
+                       parts: Mapping,
+                       postings: Mapping[str, Sequence],
                        similarity: AuthorNameSimilarity,
                        loose: float, tight: float
-                       ) -> List[Tuple[str, FrozenSetPair]]:
+                       ) -> List[Tuple[object, FrozenSetPair]]:
     """Worker: canopy + removed sets for each center in the chunk.
 
     Module-level and driven by picklable payloads so it runs under the
@@ -60,12 +60,15 @@ def score_canopy_chunk(center_ids: Sequence[str],
     in the worker — the postings index is far smaller than the candidate
     lists it expands to — and scoring goes through the same
     :class:`~repro.similarity.profiles.ProfiledNameScorer` the serial
-    profiled path uses, so scores are bitwise identical.
+    profiled path uses, so scores are bitwise identical.  Entities are keyed
+    by entity-id strings for dict stores and by interned integer indices for
+    compact stores (the payloads are then a fraction of the size); the
+    scorer is generic over the key type.
     """
     scorer = ProfiledNameScorer(parts, similarity)
-    results: List[Tuple[str, FrozenSetPair]] = []
+    results: List[Tuple[object, FrozenSetPair]] = []
     for center_id in center_ids:
-        candidates: Set[str] = set()
+        candidates: Set = set()
         for token in center_tokens[center_id]:
             candidates.update(postings.get(token, ()))
         candidates.discard(center_id)
@@ -175,9 +178,38 @@ class ParallelCoverBuilder:
         blocker: CanopyBlocker = self.blocker
         entities = blocker.clustered_entities(store)
         index = blocker.profile_index(entities, profiles)
-        parts = index.name_parts()
-        postings = {token: tuple(ids) for token, ids in index.postings.items()}
-        order = blocker.shuffled_order(entities)
+        # Against a CompactStore the whole pipeline runs in the snapshot's
+        # interned integer id space: candidate postings, name parts and the
+        # worker payloads carry small ints instead of entity-id strings, and
+        # only the accepted canopies are decoded back at the end.  The scorer
+        # is generic over the key type, so covers are identical either way.
+        interner = getattr(store, "interner", None)
+        if interner is not None:
+            space = index.interned_space(interner)
+            parts = space.parts
+            postings = space.postings
+
+            def tokens_of(center_id):
+                return space.tokens[center_id]
+
+            def text_of(center_id):
+                return index.profile(interner.id_of(center_id)).text
+
+            decode = space.decode
+            order = [interner.index_of(entity_id)
+                     for entity_id in blocker.shuffled_order(entities)]
+        else:
+            parts = index.name_parts()
+            postings = {token: tuple(ids) for token, ids in index.postings.items()}
+
+            def tokens_of(center_id):
+                return tuple(index.profile(center_id).token_set)
+
+            def text_of(center_id):
+                return index.profile(center_id).text
+
+            decode = set
+            order = blocker.shuffled_order(entities)
         wave_size = self.wave_size if self.wave_size is not None else len(order)
 
         # Entities with identical raw text AND identical normalized parts are
@@ -194,9 +226,8 @@ class ParallelCoverBuilder:
         similarity = DEFAULT_AUTHOR_SIMILARITY
         self_removing: Dict[Tuple[str, str], bool] = {}
 
-        def removes_own_group(center_id: str) -> bool:
-            profile = index.profile(center_id)
-            if not profile.token_set:
+        def removes_own_group(center_id) -> bool:
+            if not tokens_of(center_id):
                 # Token-less entities never appear in any candidate set, so
                 # nothing — not even an identical twin — can remove them.
                 return False
@@ -209,19 +240,19 @@ class ParallelCoverBuilder:
                 self_removing[key] = flag
             return flag
 
-        remaining: Set[str] = set(order)
+        remaining: Set = set(order)
         canopies: List[Set[str]] = []
         position = 0
         while position < len(order):
             # Collect the next wave of still-available potential centers.
-            wave: List[str] = []
+            wave: List = []
             seen_groups: Set[Tuple[str, Tuple[str, str]]] = set()
             while position < len(order) and len(wave) < wave_size:
                 center_id = order[position]
                 position += 1
                 if center_id not in remaining:
                     continue
-                group = (index.profile(center_id).text, parts[center_id])
+                group = (text_of(center_id), parts[center_id])
                 if group in seen_groups and removes_own_group(center_id):
                     # An earlier wave member with identical text and parts
                     # removes this entity before its turn could ever come.
@@ -238,7 +269,7 @@ class ParallelCoverBuilder:
             tasks = []
             for chunk_index, chunk in enumerate(self._chunks(by_name, self.workers)):
                 center_tokens = {
-                    center_id: tuple(index.profile(center_id).token_set)
+                    center_id: tokens_of(center_id)
                     for center_id in chunk
                 }
                 tasks.append(
@@ -248,7 +279,7 @@ class ParallelCoverBuilder:
                                        DEFAULT_AUTHOR_SIMILARITY,
                                        blocker.loose_threshold,
                                        blocker.tight_threshold)))
-            speculated: Dict[str, FrozenSetPair] = {}
+            speculated: Dict = {}
             for chunk_result in self._map(tasks).values():
                 speculated.update(chunk_result)
             # Sequential replay of the acceptance sweep over the wave: a
@@ -259,7 +290,7 @@ class ParallelCoverBuilder:
                     continue
                 canopy, removed = speculated[center_id]
                 remaining -= removed
-                canopies.append(set(canopy))
+                canopies.append(decode(canopy))
 
         assigned: Set[str] = set()
         for canopy in canopies:

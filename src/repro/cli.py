@@ -23,7 +23,8 @@ from typing import List, Optional, Sequence
 from . import __version__
 from .blocking import CanopyBlocker, ParallelCoverBuilder, build_total_cover
 from .core import EMFramework
-from .datamodel import MatchSet
+from .core.framework import STORE_BACKENDS
+from .datamodel import CompactStore, MatchSet
 from .datasets import (
     BibliographicDataset,
     dblp_big_like,
@@ -73,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="build the cover through the parallel cover "
                             "pipeline with this many workers (process pool); "
                             "the cover is identical to the serial build")
+    cover.add_argument("--store-backend", choices=list(STORE_BACKENDS),
+                       default="dict",
+                       help="storage backend the cover is built against; "
+                            "'compact' snapshots the store into interned "
+                            "flat arrays (the cover is identical)")
 
     match = subparsers.add_parser("match", help="run a matcher under a message-passing scheme")
     match.add_argument("--dataset", type=Path, required=True)
@@ -87,6 +93,12 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("--blocking-workers", type=int, default=None,
                        help="build the total cover through the parallel cover "
                             "pipeline with this many workers (process pool)")
+    match.add_argument("--store-backend", choices=list(STORE_BACKENDS),
+                       default="dict",
+                       help="storage backend: 'dict' is the reference "
+                            "EntityStore, 'compact' snapshots it into "
+                            "interned flat arrays with zero-copy "
+                            "neighborhood views (match sets are identical)")
     match.add_argument("--output", type=Path, default=None,
                        help="write resolved clusters to this JSON file")
 
@@ -116,14 +128,17 @@ def _command_cover(args: argparse.Namespace) -> int:
     dataset = _load(args.dataset)
     if args.blocking_workers is not None and args.blocking_workers < 1:
         raise SystemExit("--blocking-workers must be >= 1")
+    store = dataset.store
+    if args.store_backend == "compact":
+        store = CompactStore.from_store(store)
     blocker = CanopyBlocker(loose_threshold=args.loose, tight_threshold=args.tight)
     if args.blocking_workers is not None:
         builder = ParallelCoverBuilder(blocker, executor="processes",
                                        workers=args.blocking_workers,
                                        relation_names=["coauthor"])
-        cover = builder.build_total_cover(dataset.store)
+        cover = builder.build_total_cover(store)
     else:
-        cover = build_total_cover(blocker, dataset.store, relation_names=["coauthor"])
+        cover = build_total_cover(blocker, store, relation_names=["coauthor"])
     print(format_key_values(cover.stats(), title="cover"))
     report = evaluate_cover(cover, dataset.true_matches(),
                             entity_count=len(dataset.store.entity_ids()))
@@ -138,7 +153,8 @@ def _command_match(args: argparse.Namespace) -> int:
         raise SystemExit("--blocking-workers must be >= 1")
     framework = EMFramework(matcher, dataset.store,
                             blocker=CanopyBlocker(), relation_names=["coauthor"],
-                            blocking_workers=args.blocking_workers)
+                            blocking_workers=args.blocking_workers,
+                            store_backend=args.store_backend)
     if args.scheme == "mmp" and not matcher.is_probabilistic:
         raise SystemExit(f"matcher {args.matcher!r} is not probabilistic; "
                          "mmp requires a Type-II matcher")

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Union
 
 from ..blocking import Blocker, CanopyBlocker, Cover, ParallelCoverBuilder, build_total_cover
-from ..datamodel import EntityPair, EntityStore, Evidence, MatchSet
+from ..datamodel import CompactStore, EntityPair, EntityStore, Evidence, MatchSet
 from ..exceptions import ExperimentError, MatcherError
 from ..matchers import TypeIIMatcher, TypeIMatcher
 from .full import FullRun
@@ -35,6 +35,13 @@ from .upper_bound import UpperBoundScheme
 #: Names accepted by :meth:`EMFramework.run`.
 SCHEMES = ("no-mp", "smp", "mmp", "full")
 
+#: Storage backends accepted by :class:`EMFramework` (and the CLI's
+#: ``--store-backend``).  ``dict`` keeps the reference
+#: :class:`~repro.datamodel.EntityStore`; ``compact`` snapshots it into a
+#: :class:`~repro.datamodel.CompactStore` — interned ids, flat arrays,
+#: zero-copy ``restrict()`` views, and broadcast-once grid payloads.
+STORE_BACKENDS = ("dict", "compact")
+
 
 class EMFramework:
     """Facade over covers, matchers and message-passing schemes."""
@@ -44,7 +51,17 @@ class EMFramework:
                  blocker: Optional[Blocker] = None,
                  relation_names: Optional[Iterable[str]] = None,
                  blocking_executor=None,
-                 blocking_workers: Optional[int] = None):
+                 blocking_workers: Optional[int] = None,
+                 store_backend: str = "dict"):
+        normalized_backend = store_backend.lower()
+        if normalized_backend not in STORE_BACKENDS:
+            raise ExperimentError(
+                f"unknown store backend {store_backend!r}; "
+                f"known backends: {STORE_BACKENDS}")
+        if normalized_backend == "compact" and not isinstance(store, CompactStore):
+            store = CompactStore.from_store(store)
+        self.store_backend = "compact" if isinstance(store, CompactStore) \
+            else "dict"
         self.matcher = matcher
         self.store = store
         if cover is not None:

@@ -2,11 +2,14 @@
 
 The runner is shared by every scheme.  It
 
-* materialises (and caches) the restricted :class:`EntityStore` of each
-  neighborhood — the restriction is deterministic, so re-running the same
-  neighborhood with more evidence (SMP/MMP revisits) re-uses the same store
-  object, which also lets caching matchers (e.g. the MLN matcher) re-use their
-  ground network;
+* materialises (and caches) the restricted store of each neighborhood — the
+  restriction is deterministic, so re-running the same neighborhood with more
+  evidence (SMP/MMP revisits) re-uses the same store object, which also lets
+  caching matchers (e.g. the MLN matcher) re-use their ground network.  Under
+  the dict backend this is a deep-materialised :class:`EntityStore`; under
+  the compact backend ``restrict()`` returns a zero-copy
+  :class:`~repro.datamodel.StoreView` whose reads resolve through the
+  snapshot's shared arrays (cached here with the same stable identity);
 * restricts the global evidence to the neighborhood before the call, matching
   the paper's formulation where a neighborhood run only sees matches among its
   own entities;

@@ -1,5 +1,6 @@
 """Entity/relation data model shared by every component of the library."""
 
+from .compact import CompactRelation, CompactStore, EntityInterner, StoreView
 from .entity import AUTHOR_TYPE, PAPER_TYPE, Entity, entities_by_type, make_author, make_paper
 from .evidence import Evidence
 from .match_set import MatchSet
@@ -21,13 +22,17 @@ __all__ = [
     "CITES",
     "COAUTHOR",
     "SIMILAR",
+    "CompactRelation",
+    "CompactStore",
     "Entity",
+    "EntityInterner",
     "EntityPair",
     "EntityStore",
     "Evidence",
     "MatchSet",
     "Relation",
     "SimilarityEdge",
+    "StoreView",
     "all_pairs",
     "coauthor_from_authored",
     "entities_by_type",

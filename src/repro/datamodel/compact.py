@@ -1,0 +1,753 @@
+"""Compact columnar storage backend: interned ids, flat arrays, lazy views.
+
+The dict-based :class:`~repro.datamodel.store.EntityStore` is the reference
+container, but its ``restrict()`` deep-materialises an induced store (entities,
+relations, similarity edges) for every neighborhood in every round, and the
+grid executor pickles each of those restricted stores to worker processes.
+This module provides the compact alternative:
+
+* :class:`EntityInterner` — a bijection between entity-id strings and dense
+  integer indices; every other structure here speaks integers internally and
+  decodes at the edge.
+* :class:`CompactRelation` — a relation stored as one flat, sorted array of
+  int-encoded tuples plus a CSR adjacency (entity index → indices of the
+  tuples touching it).  It implements the read API of
+  :class:`~repro.datamodel.relation.Relation` and adds integer-space
+  traversals used by boundary expansion and view materialisation.
+* :class:`CompactStore` — an immutable snapshot of a whole EM instance:
+  entity list, interner, compact relations, and the similarity edges as
+  parallel flat arrays (pairs / scores / levels) with their own CSR adjacency.
+  ``restrict()`` is O(subset): it returns a :class:`StoreView`, never copies.
+* :class:`StoreView` — a lazy window over an id-subset of a snapshot.  It
+  implements the :class:`EntityStore` *read* interface; similarity reads
+  resolve directly through the snapshot's shared arrays, and induced
+  relations are materialised lazily (per relation, on first access, via the
+  CSR adjacency — so a neighborhood only ever pays for the relations its
+  matcher actually reads).
+
+Snapshots carry a process-unique ``snapshot_token`` so the parallel layer can
+broadcast one pickled copy per worker and ship only integer neighborhood
+member lists per task (see :mod:`repro.parallel.shared`).
+
+Parity with the dict backend — identical entities, induced relations,
+similarity edges and final match sets — is asserted by
+``tests/test_compact_store.py``.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..exceptions import UnknownEntityError, UnknownRelationError
+from .entity import Entity
+from .pair import EntityPair
+from .relation import Relation, RelationTuple
+from .store import EntityStore, SimilarityEdge
+
+#: An int-encoded relation tuple.
+IndexTuple = Tuple[int, ...]
+#: An int-encoded similarity pair in canonical ``(min_index, max_index)`` order.
+IndexPair = Tuple[int, int]
+
+
+class EntityInterner:
+    """Bijection between entity-id strings and dense integer indices."""
+
+    __slots__ = ("_ids", "_index")
+
+    def __init__(self, ids: Iterable[str]):
+        self._ids: List[str] = list(ids)
+        self._index: Dict[str, int] = {
+            entity_id: index for index, entity_id in enumerate(self._ids)}
+        if len(self._index) != len(self._ids):
+            raise ValueError("duplicate entity ids cannot be interned")
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._index
+
+    def index_of(self, entity_id: str) -> int:
+        try:
+            return self._index[entity_id]
+        except KeyError:
+            raise UnknownEntityError(entity_id) from None
+
+    def id_of(self, index: int) -> str:
+        return self._ids[index]
+
+    def indices_of(self, entity_ids: Iterable[str]) -> List[int]:
+        index = self._index
+        try:
+            return [index[entity_id] for entity_id in entity_ids]
+        except KeyError as missing:
+            raise UnknownEntityError(missing.args[0]) from None
+
+    def ids_of(self, indices: Iterable[int]) -> List[str]:
+        ids = self._ids
+        return [ids[index] for index in indices]
+
+    def ids(self) -> List[str]:
+        """All interned ids in index order (do not mutate)."""
+        return self._ids
+
+
+class CompactRelation:
+    """A relation as flat int-encoded tuples with CSR adjacency.
+
+    Implements the read interface of
+    :class:`~repro.datamodel.relation.Relation` (decoding to strings at the
+    edge) plus integer-space traversals.  Immutable: built once from a
+    relation's tuples against a fixed :class:`EntityInterner`.
+    """
+
+    __slots__ = ("name", "arity", "symmetric", "interner",
+                 "_tuples", "_tuple_set", "_indptr", "_adj", "_decoded")
+
+    def __init__(self, name: str, arity: int, symmetric: bool,
+                 interner: EntityInterner,
+                 tuples: Iterable[Sequence[str]]):
+        if arity < 1:
+            raise ValueError("relation arity must be >= 1")
+        if symmetric and arity != 2:
+            raise ValueError("symmetric relations must be binary")
+        self.name = name
+        self.arity = arity
+        self.symmetric = symmetric
+        self.interner = interner
+        encoded: Set[IndexTuple] = set()
+        for tup in tuples:
+            encoded.add(self._encode(tup))
+        self._tuples: List[IndexTuple] = sorted(encoded)
+        self._tuple_set: Set[IndexTuple] = encoded
+        self._indptr, self._adj = self._build_adjacency()
+        self._decoded: Optional[FrozenSet[RelationTuple]] = None
+
+    # ------------------------------------------------------------- encoding
+    def _encode(self, tup: Sequence[str]) -> IndexTuple:
+        if len(tup) != self.arity:
+            raise ValueError(
+                f"relation {self.name!r} has arity {self.arity}, "
+                f"got tuple of length {len(tup)}")
+        encoded = tuple(self.interner.index_of(entity_id) for entity_id in tup)
+        if self.symmetric:
+            # Canonical order must match Relation's *string* canonicalisation;
+            # index order follows insertion, not lexicographic id order.
+            if tup[0] > tup[1]:
+                encoded = (encoded[1], encoded[0])
+        return encoded
+
+    def _decode(self, tup: IndexTuple) -> RelationTuple:
+        ids = self.interner.ids_of(tup)
+        return tuple(ids)
+
+    def _build_adjacency(self) -> Tuple[List[int], List[int]]:
+        counts = [0] * len(self.interner)
+        for tup in self._tuples:
+            for entity_index in set(tup):
+                counts[entity_index] += 1
+        indptr = [0] * (len(counts) + 1)
+        for index, count in enumerate(counts):
+            indptr[index + 1] = indptr[index] + count
+        adj = [0] * indptr[-1]
+        cursor = list(indptr[:-1])
+        for tuple_index, tup in enumerate(self._tuples):
+            for entity_index in set(tup):
+                adj[cursor[entity_index]] = tuple_index
+                cursor[entity_index] += 1
+        return indptr, adj
+
+    # ---------------------------------------------------------- Relation API
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[RelationTuple]:
+        for tup in self._tuples:
+            yield self._decode(tup)
+
+    def __contains__(self, tup: Sequence[str]) -> bool:
+        return self.contains(*tup)
+
+    def contains(self, *entity_ids: str) -> bool:
+        if any(entity_id not in self.interner for entity_id in entity_ids):
+            return False
+        return self._encode(entity_ids) in self._tuple_set
+
+    def tuples(self) -> FrozenSet[RelationTuple]:
+        if self._decoded is None:
+            self._decoded = frozenset(self._decode(tup) for tup in self._tuples)
+        return self._decoded
+
+    def tuples_of(self, entity_id: str) -> FrozenSet[RelationTuple]:
+        if entity_id not in self.interner:
+            return frozenset()
+        return frozenset(self._decode(self._tuples[tuple_index])
+                         for tuple_index in self.tuple_indices_of(
+                             self.interner.index_of(entity_id)))
+
+    def neighbors(self, entity_id: str) -> Set[str]:
+        if entity_id not in self.interner:
+            return set()
+        entity_index = self.interner.index_of(entity_id)
+        out: Set[int] = set()
+        for tuple_index in self.tuple_indices_of(entity_index):
+            out.update(self._tuples[tuple_index])
+        out.discard(entity_index)
+        return set(self.interner.ids_of(out))
+
+    def participants(self) -> Set[str]:
+        indptr = self._indptr
+        return {self.interner.id_of(index)
+                for index in range(len(self.interner))
+                if indptr[index + 1] > indptr[index]}
+
+    def tuples_touching(self, entity_ids: Iterable[str]) -> Iterator[RelationTuple]:
+        """Tuples with at least one member in ``entity_ids`` (may yield dups)."""
+        members = entity_ids if isinstance(entity_ids, (set, frozenset)) \
+            else set(entity_ids)
+        known = [self.interner.index_of(m) for m in members if m in self.interner]
+        if len(known) <= len(self._tuples):
+            for entity_index in known:
+                for tuple_index in self.tuple_indices_of(entity_index):
+                    yield self._decode(self._tuples[tuple_index])
+        else:
+            member_indices = set(known)
+            for tup in self._tuples:
+                if not member_indices.isdisjoint(tup):
+                    yield self._decode(tup)
+
+    def induced(self, entity_ids: Iterable[str]) -> Relation:
+        """``R(C)`` as a plain (dict-backed) :class:`Relation`."""
+        allowed = {self.interner.index_of(entity_id)
+                   for entity_id in entity_ids if entity_id in self.interner}
+        return self.induced_relation(allowed)
+
+    def copy(self) -> Relation:
+        """A mutable dict-backed copy (compact relations are immutable)."""
+        clone = Relation(self.name, self.arity, self.symmetric)
+        for tup in self:
+            clone.add(*tup)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (CompactRelation, Relation)):
+            return NotImplemented
+        return (self.name == other.name
+                and self.arity == other.arity
+                and self.symmetric == other.symmetric
+                and self.tuples() == other.tuples())
+
+    def __hash__(self) -> int:  # pragma: no cover - relations rarely hashed
+        return hash((self.name, self.arity, self.symmetric))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CompactRelation({self.name!r}, arity={self.arity}, "
+                f"tuples={len(self._tuples)})")
+
+    # ---------------------------------------------------------- integer API
+    def tuple_indices_of(self, entity_index: int) -> Sequence[int]:
+        """Indices (into the flat tuple array) of tuples touching the entity."""
+        return self._adj[self._indptr[entity_index]:self._indptr[entity_index + 1]]
+
+    def tuple_at(self, tuple_index: int) -> IndexTuple:
+        return self._tuples[tuple_index]
+
+    def member_indices_touching(self, frontier: Set[int]) -> Set[int]:
+        """All entity indices of tuples touching ``frontier`` (frontier included).
+
+        This is the integer-space core of boundary expansion: one CSR walk
+        over whichever side is smaller, no string re-keying.
+        """
+        out: Set[int] = set()
+        if len(frontier) <= len(self._tuples):
+            tuples = self._tuples
+            for entity_index in frontier:
+                for tuple_index in self.tuple_indices_of(entity_index):
+                    out.update(tuples[tuple_index])
+        else:
+            for tup in self._tuples:
+                if not frontier.isdisjoint(tup):
+                    out.update(tup)
+        return out
+
+    def induced_tuple_indices(self, members: Set[int]) -> List[int]:
+        """Sorted indices of tuples lying entirely inside ``members``."""
+        candidates: Set[int] = set()
+        if len(members) <= len(self._tuples):
+            for entity_index in members:
+                candidates.update(self.tuple_indices_of(entity_index))
+            tuples = self._tuples
+            return sorted(
+                tuple_index for tuple_index in candidates
+                if all(e in members for e in tuples[tuple_index]))
+        return [tuple_index for tuple_index, tup in enumerate(self._tuples)
+                if all(e in members for e in tup)]
+
+    def induced_relation(self, members: Set[int]) -> Relation:
+        """``R(C)`` for an integer member set, as a dict-backed Relation."""
+        induced = Relation(self.name, self.arity, self.symmetric)
+        for tuple_index in self.induced_tuple_indices(members):
+            induced.add(*self._decode(self._tuples[tuple_index]))
+        return induced
+
+
+class CompactStore:
+    """Immutable columnar snapshot of an EM instance.
+
+    Exposes the read interface of :class:`EntityStore`; mutation methods
+    raise.  Build one from a populated dict store via :meth:`from_store`, or
+    directly from entities / relations / similarity edges.  ``restrict()``
+    returns a zero-copy :class:`StoreView`.
+    """
+
+    def __init__(self, entities: Iterable[Entity] = (),
+                 relations: Iterable[Union[Relation, CompactRelation]] = (),
+                 similarity_edges: Iterable = ()):
+        self._entities: List[Entity] = list(entities)
+        self.interner = EntityInterner(e.entity_id for e in self._entities)
+        self._by_type: Dict[str, List[int]] = {}
+        for index, entity in enumerate(self._entities):
+            self._by_type.setdefault(entity.entity_type, []).append(index)
+        self._relations: Dict[str, CompactRelation] = {}
+        for relation in relations:
+            self._relations[relation.name] = CompactRelation(
+                relation.name, relation.arity, relation.symmetric,
+                self.interner, sorted(relation.tuples()))
+        # Similarity edges as parallel flat arrays, sorted by index pair.
+        triples: List[Tuple[IndexPair, float, int]] = []
+        for edge in similarity_edges:
+            if isinstance(edge, SimilarityEdge):
+                pair, score, level = edge.pair, edge.score, edge.level
+            else:
+                pair, score, level = edge
+                pair = EntityPair.coerce(pair)
+            first = self.interner.index_of(pair.first)
+            second = self.interner.index_of(pair.second)
+            key = (first, second) if first < second else (second, first)
+            # Validate score/level through the edge dataclass once, at build.
+            SimilarityEdge(pair, score, level)
+            triples.append((key, score, level))
+        triples.sort(key=lambda item: item[0])
+        self._edge_pairs: List[IndexPair] = [key for key, _, _ in triples]
+        self._edge_scores: List[float] = [score for _, score, _ in triples]
+        self._edge_levels: List[int] = [level for _, _, level in triples]
+        self._edge_index: Dict[IndexPair, int] = {
+            key: index for index, key in enumerate(self._edge_pairs)}
+        if len(self._edge_index) != len(self._edge_pairs):
+            raise ValueError("duplicate similarity edges in snapshot input")
+        self._edge_indptr, self._edge_adj = self._build_edge_adjacency()
+        #: Process-unique token used by the parallel layer to broadcast this
+        #: snapshot once per worker (see :mod:`repro.parallel.shared`).
+        self.snapshot_token = f"compact-{uuid.uuid4().hex}"
+        self._entity_ids: Optional[FrozenSet[str]] = None
+        self._similar_pairs: Optional[FrozenSet[EntityPair]] = None
+        self._decoded_edges: Optional[List[SimilarityEdge]] = None
+
+    @classmethod
+    def from_store(cls, store) -> "CompactStore":
+        """Snapshot any store-like object exposing the EntityStore read API."""
+        return cls(store.entities(), store.relations(), store.similarity_edges())
+
+    def _build_edge_adjacency(self) -> Tuple[List[int], List[int]]:
+        counts = [0] * len(self.interner)
+        for first, second in self._edge_pairs:
+            counts[first] += 1
+            counts[second] += 1
+        indptr = [0] * (len(counts) + 1)
+        for index, count in enumerate(counts):
+            indptr[index + 1] = indptr[index] + count
+        adj = [0] * indptr[-1]
+        cursor = list(indptr[:-1])
+        for edge_index, (first, second) in enumerate(self._edge_pairs):
+            adj[cursor[first]] = edge_index
+            cursor[first] += 1
+            adj[cursor[second]] = edge_index
+            cursor[second] += 1
+        return indptr, adj
+
+    # --------------------------------------------------------------- entities
+    def entity(self, entity_id: str) -> Entity:
+        return self._entities[self.interner.index_of(entity_id)]
+
+    def entity_at(self, index: int) -> Entity:
+        return self._entities[index]
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self.interner
+
+    def entity_ids(self) -> FrozenSet[str]:
+        if self._entity_ids is None:
+            self._entity_ids = frozenset(self.interner.ids())
+        return self._entity_ids
+
+    def entities(self) -> List[Entity]:
+        return list(self._entities)
+
+    def entities_of_type(self, entity_type: str) -> List[Entity]:
+        return [self._entities[index]
+                for index in self._by_type.get(entity_type, ())]
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self.interner
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities)
+
+    # -------------------------------------------------------------- relations
+    def relation(self, name: str) -> CompactRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def relations(self) -> List[CompactRelation]:
+        return [self._relations[name] for name in sorted(self._relations)]
+
+    # ------------------------------------------------------------- similarity
+    def _edge_key(self, pair: EntityPair) -> Optional[IndexPair]:
+        if pair.first not in self.interner or pair.second not in self.interner:
+            return None
+        first = self.interner.index_of(pair.first)
+        second = self.interner.index_of(pair.second)
+        return (first, second) if first < second else (second, first)
+
+    def edge_at(self, edge_index: int) -> SimilarityEdge:
+        first, second = self._edge_pairs[edge_index]
+        pair = EntityPair.of(self.interner.id_of(first),
+                             self.interner.id_of(second))
+        return SimilarityEdge(pair, self._edge_scores[edge_index],
+                              self._edge_levels[edge_index])
+
+    def similarity(self, pair: EntityPair) -> Optional[SimilarityEdge]:
+        key = self._edge_key(pair)
+        if key is None:
+            return None
+        edge_index = self._edge_index.get(key)
+        if edge_index is None:
+            return None
+        return self.edge_at(edge_index)
+
+    def similarity_level(self, pair: EntityPair, default: int = 0) -> int:
+        key = self._edge_key(pair)
+        if key is None:
+            return default
+        edge_index = self._edge_index.get(key)
+        return self._edge_levels[edge_index] if edge_index is not None else default
+
+    def similar_pairs(self) -> FrozenSet[EntityPair]:
+        if self._similar_pairs is None:
+            ids = self.interner.ids()
+            self._similar_pairs = frozenset(
+                EntityPair.of(ids[first], ids[second])
+                for first, second in self._edge_pairs)
+        return self._similar_pairs
+
+    def similar_pairs_of(self, entity_id: str) -> FrozenSet[EntityPair]:
+        if entity_id not in self.interner:
+            return frozenset()
+        entity_index = self.interner.index_of(entity_id)
+        ids = self.interner.ids()
+        return frozenset(
+            EntityPair.of(ids[self._edge_pairs[edge_index][0]],
+                          ids[self._edge_pairs[edge_index][1]])
+            for edge_index in self.edge_indices_of(entity_index))
+
+    def similarity_edges(self) -> List[SimilarityEdge]:
+        if self._decoded_edges is None:
+            self._decoded_edges = [self.edge_at(index)
+                                   for index in range(len(self._edge_pairs))]
+        return list(self._decoded_edges)
+
+    def edge_indices_of(self, entity_index: int) -> Sequence[int]:
+        """Indices (into the flat edge arrays) of edges touching the entity."""
+        return self._edge_adj[
+            self._edge_indptr[entity_index]:self._edge_indptr[entity_index + 1]]
+
+    def edge_pair_at(self, edge_index: int) -> IndexPair:
+        return self._edge_pairs[edge_index]
+
+    # ------------------------------------------------------------ restriction
+    def restrict(self, entity_ids: Iterable[str]) -> "StoreView":
+        """The sub-instance induced by ``entity_ids`` as a zero-copy view."""
+        return StoreView(self, frozenset(self.interner.indices_of(entity_ids)))
+
+    def restrict_indices(self, member_indices: Iterable[int]) -> "StoreView":
+        """View over pre-validated integer member indices (worker fast path)."""
+        return StoreView(self, frozenset(member_indices))
+
+    def indices_for(self, entity_ids: Iterable[str]) -> Tuple[int, ...]:
+        """Sorted integer indices of ``entity_ids`` (the task-payload encoding)."""
+        return tuple(sorted(self.interner.indices_of(entity_ids)))
+
+    # ------------------------------------------------------------- pair codec
+    def encode_pairs(self, pairs: Iterable[EntityPair]) -> Tuple[IndexPair, ...]:
+        """Pairs as sorted canonical index pairs (compact task payloads)."""
+        index_of = self.interner.index_of
+        encoded = []
+        for pair in pairs:
+            first, second = index_of(pair.first), index_of(pair.second)
+            encoded.append((first, second) if first < second else (second, first))
+        return tuple(sorted(encoded))
+
+    def decode_pairs(self, encoded: Iterable[IndexPair]) -> List[EntityPair]:
+        ids = self.interner.ids()
+        return [EntityPair.of(ids[first], ids[second])
+                for first, second in encoded]
+
+    # ---------------------------------------------------------------- utility
+    def related_entities(self, entity_id: str,
+                         relation_names: Optional[Iterable[str]] = None) -> Set[str]:
+        names = list(relation_names) if relation_names is not None \
+            else list(self._relations)
+        related: Set[str] = set()
+        for name in names:
+            related.update(self.relation(name).neighbors(entity_id))
+        return related
+
+    def copy(self) -> "CompactStore":
+        return CompactStore.from_store(self)
+
+    def to_entity_store(self) -> EntityStore:
+        """Materialise a mutable dict-backed :class:`EntityStore`."""
+        store = EntityStore(entities=self._entities,
+                            relations=(rel.copy() for rel in self.relations()))
+        for edge in self.similarity_edges():
+            store.add_similarity(edge.pair, edge.score, edge.level)
+        return store
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entities": len(self._entities),
+            "relations": len(self._relations),
+            "relation_tuples": sum(len(rel) for rel in self._relations.values()),
+            "similar_pairs": len(self._edge_pairs),
+        }
+
+    # --------------------------------------------------------------- mutation
+    def _immutable(self, operation: str):
+        raise TypeError(
+            f"CompactStore is an immutable snapshot and does not support "
+            f"{operation}; build a dict EntityStore and re-snapshot it via "
+            f"CompactStore.from_store")
+
+    def add_entity(self, entity: Entity) -> None:
+        self._immutable("add_entity")
+
+    def add_entities(self, entities: Iterable[Entity]) -> None:
+        self._immutable("add_entities")
+
+    def add_relation(self, relation) -> None:
+        self._immutable("add_relation")
+
+    def add_similarity(self, pair: EntityPair, score: float, level: int) -> None:
+        self._immutable("add_similarity")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (f"CompactStore(entities={stats['entities']}, "
+                f"relations={stats['relations']}, "
+                f"similar_pairs={stats['similar_pairs']})")
+
+
+class StoreView:
+    """Lazy, zero-copy window over an id-subset of a :class:`CompactStore`.
+
+    Construction is O(1) beyond holding the member set; every read resolves
+    through the snapshot's shared arrays.  Induced relations are materialised
+    lazily per relation (first access) from the CSR adjacency and cached, so
+    a neighborhood pays only for the relations its matcher actually reads.
+    Views are read-only; ``to_entity_store()`` materialises a mutable copy.
+    """
+
+    __slots__ = ("base", "_members", "_member_order", "_entity_ids",
+                 "_similar_pairs", "_edge_indices", "_relation_cache",
+                 "_decoded_edges")
+
+    def __init__(self, base: CompactStore, member_indices: FrozenSet[int]):
+        self.base = base
+        self._members: FrozenSet[int] = member_indices
+        self._member_order: Optional[List[int]] = None
+        self._entity_ids: Optional[FrozenSet[str]] = None
+        self._similar_pairs: Optional[FrozenSet[EntityPair]] = None
+        self._edge_indices: Optional[List[int]] = None
+        self._relation_cache: Dict[str, Relation] = {}
+        self._decoded_edges: Optional[List[SimilarityEdge]] = None
+
+    # --------------------------------------------------------------- members
+    @property
+    def member_indices(self) -> FrozenSet[int]:
+        return self._members
+
+    def _ordered_members(self) -> List[int]:
+        if self._member_order is None:
+            self._member_order = sorted(self._members)
+        return self._member_order
+
+    def _index_of_member(self, entity_id: str) -> int:
+        index = self.base.interner.index_of(entity_id)
+        if index not in self._members:
+            raise UnknownEntityError(entity_id)
+        return index
+
+    # -------------------------------------------------------------- entities
+    def entity(self, entity_id: str) -> Entity:
+        return self.base.entity_at(self._index_of_member(entity_id))
+
+    def has_entity(self, entity_id: str) -> bool:
+        return (entity_id in self.base.interner
+                and self.base.interner.index_of(entity_id) in self._members)
+
+    def entity_ids(self) -> FrozenSet[str]:
+        if self._entity_ids is None:
+            self._entity_ids = frozenset(
+                self.base.interner.ids_of(self._members))
+        return self._entity_ids
+
+    def entities(self) -> List[Entity]:
+        return [self.base.entity_at(index) for index in self._ordered_members()]
+
+    def entities_of_type(self, entity_type: str) -> List[Entity]:
+        return [entity for entity in self.entities()
+                if entity.entity_type == entity_type]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return self.has_entity(entity_id)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self.entities())
+
+    # -------------------------------------------------------------- relations
+    def relation(self, name: str) -> Relation:
+        cached = self._relation_cache.get(name)
+        if cached is None:
+            cached = self.base.relation(name).induced_relation(set(self._members))
+            self._relation_cache[name] = cached
+        return cached
+
+    def has_relation(self, name: str) -> bool:
+        return self.base.has_relation(name)
+
+    def relation_names(self) -> List[str]:
+        return self.base.relation_names()
+
+    def relations(self) -> List[Relation]:
+        return [self.relation(name) for name in self.relation_names()]
+
+    # ------------------------------------------------------------- similarity
+    def _member_edge_indices(self) -> List[int]:
+        if self._edge_indices is None:
+            members = self._members
+            base = self.base
+            collected: Set[int] = set()
+            for entity_index in members:
+                for edge_index in base.edge_indices_of(entity_index):
+                    first, second = base.edge_pair_at(edge_index)
+                    if first in members and second in members:
+                        collected.add(edge_index)
+            self._edge_indices = sorted(collected)
+        return self._edge_indices
+
+    def similarity(self, pair: EntityPair) -> Optional[SimilarityEdge]:
+        key = self.base._edge_key(pair)
+        if key is None or key[0] not in self._members or key[1] not in self._members:
+            return None
+        return self.base.similarity(pair)
+
+    def similarity_level(self, pair: EntityPair, default: int = 0) -> int:
+        edge = self.similarity(pair)
+        return edge.level if edge is not None else default
+
+    def similar_pairs(self) -> FrozenSet[EntityPair]:
+        if self._similar_pairs is None:
+            ids = self.base.interner.ids()
+            self._similar_pairs = frozenset(
+                EntityPair.of(ids[self.base.edge_pair_at(edge_index)[0]],
+                              ids[self.base.edge_pair_at(edge_index)[1]])
+                for edge_index in self._member_edge_indices())
+        return self._similar_pairs
+
+    def similar_pairs_of(self, entity_id: str) -> FrozenSet[EntityPair]:
+        if not self.has_entity(entity_id):
+            return frozenset()
+        entity_index = self.base.interner.index_of(entity_id)
+        members = self._members
+        ids = self.base.interner.ids()
+        out = []
+        for edge_index in self.base.edge_indices_of(entity_index):
+            first, second = self.base.edge_pair_at(edge_index)
+            if first in members and second in members:
+                out.append(EntityPair.of(ids[first], ids[second]))
+        return frozenset(out)
+
+    def similarity_edges(self) -> List[SimilarityEdge]:
+        if self._decoded_edges is None:
+            self._decoded_edges = [self.base.edge_at(edge_index)
+                                   for edge_index in self._member_edge_indices()]
+        return list(self._decoded_edges)
+
+    # ------------------------------------------------------------ restriction
+    def restrict(self, entity_ids: Iterable[str]) -> "StoreView":
+        indices = []
+        for entity_id in entity_ids:
+            indices.append(self._index_of_member(entity_id))
+        return StoreView(self.base, frozenset(indices))
+
+    # ---------------------------------------------------------------- utility
+    def related_entities(self, entity_id: str,
+                         relation_names: Optional[Iterable[str]] = None) -> Set[str]:
+        names = list(relation_names) if relation_names is not None \
+            else self.relation_names()
+        related: Set[str] = set()
+        for name in names:
+            related.update(self.relation(name).neighbors(entity_id))
+        return related
+
+    def copy(self) -> EntityStore:
+        return self.to_entity_store()
+
+    def to_entity_store(self) -> EntityStore:
+        """Materialise the induced sub-instance as a dict-backed store."""
+        store = EntityStore(entities=self.entities(),
+                            relations=(self.relation(name).copy()
+                                       for name in self.relation_names()))
+        for edge in self.similarity_edges():
+            store.add_similarity(edge.pair, edge.score, edge.level)
+        return store
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entities": len(self._members),
+            "relations": len(self.relation_names()),
+            "relation_tuples": sum(len(self.relation(name))
+                                   for name in self.relation_names()),
+            "similar_pairs": len(self._member_edge_indices()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"StoreView(entities={len(self._members)}, "
+                f"base={self.base!r})")

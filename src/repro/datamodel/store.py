@@ -51,6 +51,11 @@ class EntityStore:
         self._relations: Dict[str, Relation] = {}
         self._similar: Dict[EntityPair, SimilarityEdge] = {}
         self._similar_index: Dict[str, Set[EntityPair]] = {}
+        # (authored_name, coauthor_name) -> (authored tuples snapshot,
+        # derived relation); invalidated on add_relation, and guarded by the
+        # snapshot against in-place mutation of the source relation.
+        self._derived_coauthor: Dict[Tuple[str, str],
+                                     Tuple[FrozenSet, Relation]] = {}
         for entity in entities:
             self.add_entity(entity)
         for relation in relations:
@@ -99,6 +104,9 @@ class EntityStore:
     def add_relation(self, relation: Relation) -> None:
         """Register (or replace) a relation by name."""
         self._relations[relation.name] = relation
+        # Any relation change may invalidate cached derivations (the source
+        # Authored relation could have been replaced or extended in place).
+        self._derived_coauthor.clear()
 
     def relation(self, name: str) -> Relation:
         try:
@@ -117,9 +125,27 @@ class EntityStore:
 
     def derive_coauthor(self, authored_name: str = "authored",
                         coauthor_name: str = COAUTHOR) -> Relation:
-        """Derive and register the Coauthor relation from Authored."""
-        coauthor = coauthor_from_authored(self.relation(authored_name), coauthor_name)
+        """Derive and register the Coauthor relation from Authored.
+
+        The derivation (a self-join on Authored) is cached on the store, so
+        repeated neighborhood builds do not re-derive the same COAUTHOR
+        tuples.  The cache is invalidated whenever :meth:`add_relation` runs
+        and additionally guarded by a snapshot of the source tuples, so
+        in-place mutation of the Authored relation also triggers a fresh
+        derivation.
+        """
+        cache_key = (authored_name, coauthor_name)
+        source_tuples = self.relation(authored_name).tuples()
+        cached = self._derived_coauthor.get(cache_key)
+        if cached is not None and cached[0] == source_tuples:
+            coauthor = cached[1]
+        else:
+            coauthor = coauthor_from_authored(self.relation(authored_name),
+                                              coauthor_name)
         self.add_relation(coauthor)
+        # Cache after add_relation: registering the derived relation clears
+        # the cache, so re-insert the fresh entry.
+        self._derived_coauthor[cache_key] = (source_tuples, coauthor)
         return coauthor
 
     # ------------------------------------------------------------- similarity
@@ -168,12 +194,25 @@ class EntityStore:
             entities=(self._entities[eid] for eid in selected),
             relations=(rel.induced(selected) for rel in self._relations.values()),
         )
-        for entity_id in selected:
-            for pair in self._similar_index.get(entity_id, ()):  # type: ignore[arg-type]
-                if pair.first in selected and pair.second in selected:
-                    edge = self._similar[pair]
-                    if restricted.similarity(pair) is None:
+        # Walk whichever side is smaller.  Small subsets go through the
+        # per-entity ``_similar_index`` postings; subsets covering most of
+        # the store scan the edge list once instead of re-deriving it from
+        # the postings (which visits every inner edge twice, once per
+        # endpoint).  Either way each surviving edge is added exactly once.
+        if len(selected) < len(self._similar):
+            seen: Set[EntityPair] = set()
+            for entity_id in selected:
+                for pair in self._similar_index.get(entity_id, ()):  # type: ignore[arg-type]
+                    if pair in seen:
+                        continue
+                    if pair.first in selected and pair.second in selected:
+                        seen.add(pair)
+                        edge = self._similar[pair]
                         restricted.add_similarity(pair, edge.score, edge.level)
+        else:
+            for pair, edge in self._similar.items():
+                if pair.first in selected and pair.second in selected:
+                    restricted.add_similarity(pair, edge.score, edge.level)
         return restricted
 
     # ---------------------------------------------------------------- utility

@@ -18,11 +18,18 @@ from .partitioner import (
     summarize,
     total_work,
 )
-from .tasks import MapResult, MapTask, execute_map_task
+from .tasks import (
+    CompactMapTask,
+    MapResult,
+    MapTask,
+    execute_compact_map_task,
+    execute_map_task,
+)
 
 __all__ = [
     "EXECUTOR_KINDS",
     "AssignmentSummary",
+    "CompactMapTask",
     "Executor",
     "GridExecutor",
     "GridRunResult",
@@ -31,6 +38,7 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "execute_compact_map_task",
     "execute_map_task",
     "lpt_partition",
     "make_executor",

@@ -39,6 +39,7 @@ import os
 from typing import Callable, ClassVar, Dict, Optional, Sequence, Tuple, TypeVar
 
 from ..exceptions import ExperimentError
+from . import shared as _shared
 
 ResultT = TypeVar("ResultT")
 NamedTask = Tuple[str, Callable[[], ResultT]]
@@ -69,6 +70,25 @@ class Executor(abc.ABC):
 
     def close(self) -> None:
         """Release any backing worker pool (idempotent; no-op by default)."""
+
+    # --------------------------------------------------------------- sharing
+    def share(self, key: str, value) -> bool:
+        """Broadcast a round-invariant payload to every execution context.
+
+        After a successful ``share``, tasks run by this executor can resolve
+        ``value`` via :func:`repro.parallel.shared.get_shared` — in the same
+        process for the in-process executors, in each pool worker for the
+        process executor (installed once per worker at spawn).  Returns
+        ``False`` when the broadcast cannot be guaranteed (e.g. a process
+        pool that is already open); callers must then fall back to
+        self-contained task payloads.
+        """
+        _shared.share_local(key, value)
+        return True
+
+    def unshare(self, key: str) -> None:
+        """Drop a previously shared payload (idempotent)."""
+        _shared.unshare_local(key)
 
     def __enter__(self) -> "Executor":
         return self
@@ -184,10 +204,33 @@ class ProcessExecutor(_PoolExecutor):
     def __init__(self, workers: Optional[int] = None, mp_context=None):
         super().__init__(workers if workers is not None else (os.cpu_count() or 1))
         self.mp_context = mp_context
+        self._shared_payloads: Dict[str, object] = {}
+
+    def share(self, key: str, value) -> bool:
+        """Record a broadcast payload delivered to each worker at pool spawn.
+
+        Payloads are shipped through the pool's ``initializer``, so each
+        worker unpickles them exactly once.  Sharing into an already-open
+        pool is refused (its workers were spawned without the payload);
+        callers fall back to self-contained tasks in that case.
+        """
+        if self._pool is not None:
+            return False
+        self._shared_payloads[key] = value
+        return True
+
+    def unshare(self, key: str) -> None:
+        self._shared_payloads.pop(key, None)
 
     def _make_pool(self) -> concurrent.futures.Executor:
+        initializer = None
+        initargs = ()
+        if self._shared_payloads:
+            initializer = _shared.install_shared
+            initargs = (dict(self._shared_payloads),)
         return concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=self.mp_context)
+            max_workers=self.workers, mp_context=self.mp_context,
+            initializer=initializer, initargs=initargs)
 
 
 def make_executor(kind: str, workers: Optional[int] = None) -> Executor:

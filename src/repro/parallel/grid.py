@@ -43,12 +43,18 @@ from ..blocking import Cover
 from ..core import NeighborhoodRunner, SchemeResult
 from ..core.messages import MaximalMessageSet
 from ..core.mmp import SCORE_TOLERANCE
-from ..datamodel import EntityPair, EntityStore
+from ..datamodel import CompactStore, EntityPair, EntityStore, StoreView
 from ..exceptions import ExperimentError, MatcherError
 from ..matchers import TypeIIMatcher, TypeIMatcher
 from .executor import Executor, NamedTask, SerialExecutor, make_executor
 from .partitioner import Task, lpt_partition, makespan, random_partition, total_work
-from .tasks import MapResult, MapTask, execute_map_task
+from .tasks import (
+    CompactMapTask,
+    MapResult,
+    MapTask,
+    execute_compact_map_task,
+    execute_map_task,
+)
 
 
 @dataclass
@@ -167,6 +173,37 @@ class GridExecutor:
         runner = NeighborhoodRunner(matcher, store, cover)
         started = time.perf_counter()
 
+        # Compact snapshot mode: broadcast the store and the matcher once per
+        # execution context and ship only integer member lists + int-encoded
+        # evidence per task.  Falls back to self-contained payloads when the
+        # broadcast cannot be guaranteed (a caller-opened process pool).
+        snapshot: Optional[CompactStore] = \
+            store if isinstance(store, CompactStore) else None
+        snapshot_keys: tuple = ()
+        if snapshot is not None:
+            token = snapshot.snapshot_token
+            matcher_key = token + "/matcher"
+            if self.executor.share(token, snapshot):
+                if self.executor.share(matcher_key, matcher):
+                    snapshot_keys = (token, matcher_key)
+                else:
+                    self.executor.unshare(token)
+        use_snapshot = bool(snapshot_keys)
+        member_cache: Dict[str, tuple] = {}
+        # Fallback for compact stores without broadcast: ship materialised
+        # dict sub-stores (a StoreView pickles its whole base snapshot).
+        shippable_cache: Dict[str, EntityStore] = {}
+
+        def shippable_store(name: str) -> EntityStore:
+            neighborhood_store = runner.neighborhood_store(name)
+            if isinstance(neighborhood_store, StoreView):
+                cached = shippable_cache.get(name)
+                if cached is None:
+                    cached = neighborhood_store.to_entity_store()
+                    shippable_cache[name] = cached
+                return cached
+            return neighborhood_store
+
         matches: Set[EntityPair] = set()
         message_set = MaximalMessageSet()
         probed: Set[str] = set()
@@ -187,60 +224,79 @@ class GridExecutor:
         warm_capable = bool(getattr(matcher, "supports_warm_start", False))
         last_results: Dict[str, FrozenSet[EntityPair]] = {}
 
-        with self.executor:
-            for _ in range(self.max_rounds):
-                if not active:
-                    break
-                evidence_snapshot = frozenset(matches)
-                for pair in evidence_snapshot - distributed:
-                    for name in cover.neighborhoods_of_pair(pair):
-                        evidence_index[name].add(pair)
-                distributed |= evidence_snapshot
+        try:
+            with self.executor:
+                for _ in range(self.max_rounds):
+                    if not active:
+                        break
+                    evidence_snapshot = frozenset(matches)
+                    for pair in evidence_snapshot - distributed:
+                        for name in cover.neighborhoods_of_pair(pair):
+                            evidence_index[name].add(pair)
+                    distributed |= evidence_snapshot
 
-                # Map phase: every active neighborhood runs against the
-                # snapshot, dispatched through the pluggable executor.
-                tasks: List[NamedTask] = []
-                for name in sorted(active):
-                    neighborhood_store = runner.neighborhood_store(name)
-                    compute_messages = self.scheme == "mmp" and (
-                        not self.compute_messages_once or name not in probed)
-                    if compute_messages:
-                        probed.add(name)
-                    payload = MapTask(name=name, matcher=matcher,
-                                      store=neighborhood_store,
-                                      evidence=frozenset(evidence_index[name]),
-                                      compute_messages=compute_messages,
-                                      warm_start=last_results.get(name, frozenset())
-                                      if warm_capable else frozenset())
-                    tasks.append((name, partial(execute_map_task, payload)))
-                results = self.executor.map_tasks(tasks)
+                    # Map phase: every active neighborhood runs against the
+                    # snapshot, dispatched through the pluggable executor.
+                    tasks: List[NamedTask] = []
+                    for name in sorted(active):
+                        compute_messages = self.scheme == "mmp" and (
+                            not self.compute_messages_once or name not in probed)
+                        if compute_messages:
+                            probed.add(name)
+                        warm_start = last_results.get(name, frozenset()) \
+                            if warm_capable else frozenset()
+                        if use_snapshot:
+                            members = member_cache.get(name)
+                            if members is None:
+                                members = snapshot.indices_for(
+                                    cover.neighborhood(name).entity_ids)
+                                member_cache[name] = members
+                            compact_payload = CompactMapTask(
+                                name=name, snapshot=snapshot_keys[0],
+                                matcher_key=snapshot_keys[1], members=members,
+                                evidence=snapshot.encode_pairs(evidence_index[name]),
+                                compute_messages=compute_messages,
+                                warm_start=snapshot.encode_pairs(warm_start))
+                            tasks.append((name, partial(execute_compact_map_task,
+                                                        compact_payload)))
+                            continue
+                        payload = MapTask(name=name, matcher=matcher,
+                                          store=shippable_store(name),
+                                          evidence=frozenset(evidence_index[name]),
+                                          compute_messages=compute_messages,
+                                          warm_start=warm_start)
+                        tasks.append((name, partial(execute_map_task, payload)))
+                    results = self.executor.map_tasks(tasks)
 
-                # Reduce phase: merge per-neighborhood results in sorted-name
-                # order (independent of executor completion order), promote
-                # maximal messages (MMP only).
-                round_tasks: List[Task] = []
-                round_new: Set[EntityPair] = set()
-                for name in sorted(results):
-                    result: MapResult = results[name]
-                    round_new |= result.matches - evidence_snapshot
-                    message_set.add_all(result.messages)
-                    neighborhood_runs += result.matcher_calls
-                    round_tasks.append((name, result.duration))
-                    if warm_capable:
-                        last_results[name] = result.matches
-                rounds.append(round_tasks)
+                    # Reduce phase: merge per-neighborhood results in
+                    # sorted-name order (independent of executor completion
+                    # order), promote maximal messages (MMP only).
+                    round_tasks: List[Task] = []
+                    round_new: Set[EntityPair] = set()
+                    for name in sorted(results):
+                        result: MapResult = results[name]
+                        round_new |= result.matches - evidence_snapshot
+                        message_set.add_all(result.messages)
+                        neighborhood_runs += result.matcher_calls
+                        round_tasks.append((name, result.duration))
+                        if warm_capable:
+                            last_results[name] = result.matches
+                    rounds.append(round_tasks)
 
-                matches |= round_new
-                if self.scheme == "mmp":
-                    round_new |= self._promote_messages(matcher, store, matches,
-                                                        message_set)
+                    matches |= round_new
+                    if self.scheme == "mmp":
+                        round_new |= self._promote_messages(matcher, store,
+                                                            matches, message_set)
 
-                if self.scheme == "no-mp":
-                    active = set()
-                elif not round_new:
-                    active = set()
-                else:
-                    active = set(cover.neighbors_of_pairs(round_new))
+                    if self.scheme == "no-mp":
+                        active = set()
+                    elif not round_new:
+                        active = set()
+                    else:
+                        active = set(cover.neighbors_of_pairs(round_new))
+        finally:
+            for key in snapshot_keys:
+                self.executor.unshare(key)
 
         elapsed = time.perf_counter() - started
         return GridRunResult(

@@ -21,6 +21,13 @@ process by :class:`repro.parallel.executor.ProcessExecutor`:
 its :class:`MapResult` carries everything the reduce phase needs back: the
 neighborhood's matches, any maximal messages (MMP), the measured duration
 (which feeds the simulated-grid model) and the matcher-call count.
+
+When the grid runs against a :class:`~repro.datamodel.CompactStore`, tasks
+take the :class:`CompactMapTask` form instead: the snapshot and the matcher
+are broadcast once per execution context (:mod:`repro.parallel.shared`) and
+each task ships only integer member lists and int-encoded evidence —
+:func:`execute_compact_map_task` reassembles the neighborhood as a zero-copy
+view on the receiving side.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from ..core.maximal import compute_maximal_messages
 from ..core.messages import MaximalMessage
 from ..datamodel import EntityPair, EntityStore, Evidence
 from ..matchers import TypeIMatcher
+from . import shared
 
 
 @dataclass(frozen=True)
@@ -47,6 +55,33 @@ class MapTask:
     #: This neighborhood's matches from the previous round (empty on the
     #: first visit); only ever non-empty for ``supports_warm_start`` matchers.
     warm_start: FrozenSet[EntityPair] = frozenset()
+
+
+@dataclass(frozen=True)
+class CompactMapTask:
+    """A map task against a broadcast :class:`~repro.datamodel.CompactStore`.
+
+    Instead of a self-contained restricted store, the payload references the
+    snapshot (and the matcher) broadcast through
+    :meth:`repro.parallel.executor.Executor.share` and carries only the
+    neighborhood's *integer* member list plus int-encoded evidence pairs —
+    a few hundred bytes where a pickled restricted store is kilobytes.  The
+    executing process resolves the snapshot from its local registry and
+    restricts it to a cached zero-copy view.
+    """
+
+    name: str
+    #: Registry key of the broadcast :class:`CompactStore` snapshot.
+    snapshot: str
+    #: Registry key of the broadcast matcher.
+    matcher_key: str
+    #: Sorted interned indices of the neighborhood's entities.
+    members: Tuple[int, ...]
+    #: Int-encoded ``(min_index, max_index)`` positive-evidence pairs.
+    evidence: Tuple[Tuple[int, int], ...]
+    compute_messages: bool = False
+    #: Int-encoded previous-round matches (``supports_warm_start`` only).
+    warm_start: Tuple[Tuple[int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -106,6 +141,37 @@ def execute_map_task(task: MapTask) -> MapResult:
     if task.compute_messages:
         messages = tuple(compute_maximal_messages(
             runner, task.name, evidence_matches=task.evidence,
+            unconditioned_output=found))
+    return MapResult(
+        name=task.name,
+        matches=found,
+        messages=messages,
+        duration=time.perf_counter() - started,
+        matcher_calls=runner.calls,
+    )
+
+
+def execute_compact_map_task(task: CompactMapTask) -> MapResult:
+    """Run one neighborhood against a broadcast compact snapshot.
+
+    Resolves the snapshot and matcher from the process-local shared registry
+    (see :mod:`repro.parallel.shared`), restricts the snapshot to a cached
+    zero-copy view of the task's members, decodes the int-encoded evidence,
+    and then follows the same path as :func:`execute_map_task`.  Module-level
+    for the same pickling reason.
+    """
+    started = time.perf_counter()
+    snapshot = shared.get_shared(task.snapshot)
+    matcher: TypeIMatcher = shared.get_shared(task.matcher_key)
+    view = shared.view_for(task.snapshot, task.members)
+    evidence = frozenset(snapshot.decode_pairs(task.evidence))
+    warm_start = frozenset(snapshot.decode_pairs(task.warm_start))
+    runner = _TaskRunner(matcher, view, warm_start=warm_start)
+    found = runner.run(task.name, positive=evidence)
+    messages: Tuple[MaximalMessage, ...] = ()
+    if task.compute_messages:
+        messages = tuple(compute_maximal_messages(
+            runner, task.name, evidence_matches=evidence,
             unconditioned_output=found))
     return MapResult(
         name=task.name,

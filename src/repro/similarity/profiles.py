@@ -100,6 +100,7 @@ class EntityProfileIndex:
         self._word_token_cache: Dict[Tuple[Entity, Tuple[str, ...]], Set[str]] = {}
         self._tfidf: Optional[ProfiledTfIdfScorer] = None
         self._name_parts: Optional[Dict[str, Tuple[str, str]]] = None
+        self._interned: Optional[Tuple[int, "InternedProfileSpace"]] = None
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -192,6 +193,61 @@ class EntityProfileIndex:
             self._name_parts = {entity_id: (profile.norm_first, profile.norm_last)
                                 for entity_id, profile in self._profiles.items()}
         return self._name_parts
+
+    def interned_space(self, interner) -> "InternedProfileSpace":
+        """This index re-keyed into a compact store's integer id space.
+
+        Memoized per interner: a blocker working against a
+        :class:`~repro.datamodel.CompactStore` builds the space once and all
+        downstream structures (candidate sets, canopy sweeps, worker
+        payloads) stay in integer space instead of re-keying by string ids.
+        """
+        if self._interned is not None and self._interned[0] == id(interner):
+            return self._interned[1]
+        space = InternedProfileSpace(self, interner)
+        self._interned = (id(interner), space)
+        return space
+
+
+class InternedProfileSpace:
+    """An :class:`EntityProfileIndex` re-keyed by interned integer indices.
+
+    Everything a canopy construction needs — normalized name parts, token
+    sets, the token → entities postings — keyed by the integer indices of a
+    :class:`~repro.datamodel.EntityInterner` instead of entity-id strings.
+    :class:`ProfiledNameScorer` is generic over its key type, so the *same*
+    scoring code (and therefore bitwise-identical covers) runs over either
+    key space; the integer space makes the hot candidate-set operations
+    cheaper and shrinks the payloads the parallel cover builder ships.
+    """
+
+    __slots__ = ("interner", "parts", "tokens", "postings")
+
+    def __init__(self, index: EntityProfileIndex, interner):
+        self.interner = interner
+        parts: Dict[int, Tuple[str, str]] = {}
+        tokens: Dict[int, Tuple[str, ...]] = {}
+        for entity_id, profile in index._profiles.items():
+            entity_index = interner.index_of(entity_id)
+            parts[entity_index] = (profile.norm_first, profile.norm_last)
+            tokens[entity_index] = tuple(sorted(profile.token_set))
+        self.parts = parts
+        self.tokens = tokens
+        self.postings: Dict[str, Tuple[int, ...]] = {
+            token: tuple(interner.index_of(entity_id) for entity_id in ids)
+            for token, ids in index.postings.items()}
+
+    def candidates(self, entity_index: int) -> Set[int]:
+        """Entities sharing at least one token (excluding the entity itself)."""
+        out: Set[int] = set()
+        postings = self.postings
+        for token in self.tokens[entity_index]:
+            out.update(postings.get(token, ()))
+        out.discard(entity_index)
+        return out
+
+    def decode(self, indices: Iterable[int]) -> Set[str]:
+        return set(self.interner.ids_of(indices))
 
 
 class ProfiledNameScorer:

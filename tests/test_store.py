@@ -115,6 +115,42 @@ class TestSimilarity:
             store.add_similarity(EntityPair.of("a1", "b1"), 1.5, 1)
 
 
+class TestDerivedCoauthorCache:
+    def test_repeated_derivation_reuses_cached_relation(self):
+        store = build_store()
+        first = store.derive_coauthor("authored")
+        second = store.derive_coauthor("authored")
+        assert second is first
+
+    def test_add_relation_invalidates_cache(self):
+        store = build_store()
+        first = store.derive_coauthor("authored")
+        authored = Relation("authored", arity=2)
+        authored.add("a1", "p1")
+        authored.add("a2", "p1")
+        store.add_relation(authored)
+        rederived = store.derive_coauthor("authored")
+        assert rederived is not first
+        assert rederived.contains("a1", "a2")
+        assert not rederived.contains("a1", "b1")
+
+    def test_in_place_mutation_of_authored_triggers_rederivation(self):
+        store = build_store()
+        first = store.derive_coauthor("authored")
+        assert not first.contains("a1", "a2")
+        store.relation("authored").add("a2", "p1")
+        rederived = store.derive_coauthor("authored")
+        assert rederived is not first
+        assert rederived.contains("a1", "a2")
+
+    def test_cache_keyed_by_names(self):
+        store = build_store()
+        default = store.derive_coauthor("authored")
+        other = store.derive_coauthor("authored", coauthor_name="collab")
+        assert other is not default
+        assert store.relation("collab").tuples() == default.tuples()
+
+
 class TestRestrict:
     def test_restrict_keeps_induced_relations(self):
         store = build_store()
@@ -134,6 +170,21 @@ class TestRestrict:
     def test_restrict_unknown_entity(self):
         with pytest.raises(UnknownEntityError):
             build_store().restrict({"a1", "nope"})
+
+    def test_full_and_near_full_subsets_keep_all_edges(self):
+        # Subsets covering most of the store take the edge-scan path
+        # (len(selected) >= len(similar)); small subsets route through the
+        # per-entity postings.  Both must agree with the naive definition.
+        store = build_store()
+        store.add_similarity(EntityPair.of("a1", "b1"), 0.7, 1)
+        store.add_similarity(EntityPair.of("a2", "b1"), 0.6, 1)
+        everything = store.restrict(store.entity_ids())
+        assert everything.similar_pairs() == store.similar_pairs()
+        assert sorted((e.pair, e.score, e.level)
+                      for e in everything.similarity_edges()) == \
+            sorted((e.pair, e.score, e.level) for e in store.similarity_edges())
+        without_b1 = store.restrict({"a1", "a2", "p1"})
+        assert without_b1.similar_pairs() == {EntityPair.of("a1", "a2")}
 
 
 class TestMisc:
