@@ -81,6 +81,15 @@ from .matchers import (
 )
 from .mln import MarkovLogicNetwork, paper_author_rules
 from .parallel import GridExecutor, GridRunResult
+from .streaming import (
+    ChangeBatch,
+    DeltaLog,
+    StoreOverlay,
+    StreamSession,
+    load_delta_log,
+    save_delta_log,
+    synthesize_stream,
+)
 
 __version__ = "1.0.0"
 
@@ -89,7 +98,9 @@ __all__ = [
     "BibliographyGenerator",
     "Blocker",
     "CanopyBlocker",
+    "ChangeBatch",
     "Cover",
+    "DeltaLog",
     "EMFramework",
     "Entity",
     "EntityPair",
@@ -116,6 +127,8 @@ __all__ = [
     "SimpleMessagePassing",
     "SortedNeighborhoodBlocker",
     "StandardBlocker",
+    "StoreOverlay",
+    "StreamSession",
     "TokenBlocker",
     "TypeIIMatcher",
     "TypeIMatcher",
@@ -130,6 +143,9 @@ __all__ = [
     "hepth_like",
     "hepth_tiny",
     "load_dataset",
+    "load_delta_log",
+    "save_delta_log",
+    "synthesize_stream",
     "make_author",
     "make_paper",
     "paper_author_rules",

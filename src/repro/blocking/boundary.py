@@ -156,12 +156,16 @@ def expand_to_total_cover(cover: Cover, store: EntityStore,
                      frozenset(expand_members(relations, neighborhood.entity_ids, rounds)))
         for neighborhood in cover
     ]
-    return _attach_leftover_singletons(expanded, store)
+    return attach_leftover_singletons(expanded, store)
 
 
-def _attach_leftover_singletons(expanded: List[Neighborhood],
-                                store: EntityStore) -> Cover:
-    """Cover of ``expanded`` plus a singleton per still-uncovered store entity."""
+def attach_leftover_singletons(expanded: List[Neighborhood],
+                               store: EntityStore) -> Cover:
+    """Cover of ``expanded`` plus a singleton per still-uncovered store entity.
+
+    Public because the streaming cover maintainer replays exactly this step
+    when it rebuilds a total cover incrementally.
+    """
     covered: Set[str] = set()
     for neighborhood in expanded:
         covered.update(neighborhood.entity_ids)
@@ -169,6 +173,10 @@ def _attach_leftover_singletons(expanded: List[Neighborhood],
     for index, entity_id in enumerate(leftovers):
         expanded.append(Neighborhood(f"singleton-{index}", frozenset({entity_id})))
     return Cover(expanded)
+
+
+#: Backwards-compatible private alias.
+_attach_leftover_singletons = attach_leftover_singletons
 
 
 def build_total_cover(blocker, store: EntityStore,

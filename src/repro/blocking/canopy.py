@@ -29,7 +29,7 @@ Both produce bitwise-identical covers (``tests/test_profiles.py``).
 
 from __future__ import annotations
 
-import random
+import hashlib
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..datamodel import Entity, EntityStore
@@ -131,10 +131,24 @@ class CanopyBlocker(Blocker):
         return sorted(entities, key=lambda e: e.entity_id)
 
     def shuffled_order(self, entities: Sequence[Entity]) -> List[str]:
-        """Seeded random center-processing order over ``entities``."""
-        order = [entity.entity_id for entity in entities]
-        random.Random(self.seed).shuffle(order)
-        return order
+        """Seeded random center-processing order over ``entities``.
+
+        The order is *insertion-stable*: each entity's position comes from a
+        per-entity keyed hash of ``(seed, entity_id)``, so adding or removing
+        one entity inserts/deletes one element without perturbing the
+        relative order of all the others.  (A global ``random.shuffle`` over
+        the id list would re-permute everything whenever the entity set
+        changes by a single element, which would force the streaming cover
+        maintainer to treat every canopy as dirty on every delta batch.)
+        """
+        seed = str(self.seed).encode("utf-8")
+
+        def rank(entity_id: str) -> Tuple[bytes, str]:
+            digest = hashlib.blake2b(entity_id.encode("utf-8"), key=seed[:64],
+                                     digest_size=8).digest()
+            return digest, entity_id
+
+        return sorted((entity.entity_id for entity in entities), key=rank)
 
     def profile_index(self, entities: Sequence[Entity],
                       profiles: Optional[EntityProfileIndex] = None) -> EntityProfileIndex:

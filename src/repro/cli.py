@@ -5,6 +5,8 @@ A small CLI that exposes the common pipeline without writing any Python::
     repro-em generate --preset hepth --scale 0.25 --output data.json
     repro-em cover    --dataset data.json
     repro-em match    --dataset data.json --matcher mln --scheme smp --output clusters.json
+    repro-em stream-trace --dataset data.json --base-output base.json --trace-output trace.json
+    repro-em stream   --dataset base.json --deltas trace.json --verify
     repro-em info
 
 Every subcommand prints a plain-text report; ``match`` additionally writes the
@@ -102,6 +104,48 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("--output", type=Path, default=None,
                        help="write resolved clusters to this JSON file")
 
+    trace = subparsers.add_parser(
+        "stream-trace",
+        help="synthesise a streaming scenario (base dataset + delta trace) "
+             "from a dataset")
+    trace.add_argument("--dataset", type=Path, required=True,
+                       help="the *final* instance the stream converges to")
+    trace.add_argument("--batches", type=int, default=10)
+    trace.add_argument("--holdout", type=float, default=0.3,
+                       help="fraction of entities streamed in via deltas")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--no-churn", action="store_true",
+                       help="pure insertion stream (no transient "
+                            "entities/edges/tuples)")
+    trace.add_argument("--base-output", type=Path, required=True,
+                       help="JSON file for the base dataset")
+    trace.add_argument("--trace-output", type=Path, required=True,
+                       help="JSON file for the delta trace")
+
+    stream = subparsers.add_parser(
+        "stream", help="replay a delta trace against a standing match set")
+    stream.add_argument("--dataset", type=Path, required=True,
+                        help="the base instance the session starts from")
+    stream.add_argument("--deltas", type=Path, required=True,
+                        help="delta trace produced by stream-trace")
+    stream.add_argument("--matcher", choices=sorted(_MATCHERS), default="mln")
+    stream.add_argument("--executor", choices=list(EXECUTOR_KINDS), default=None,
+                        help="map-phase engine for the dirty-neighborhood "
+                             "rounds (default serial)")
+    stream.add_argument("--workers", type=int, default=None)
+    stream.add_argument("--store-backend", choices=list(STORE_BACKENDS),
+                        default="dict",
+                        help="backend of the base snapshot the overlay "
+                             "layers deltas over")
+    stream.add_argument("--rebase-threshold", type=int, default=5000,
+                        help="overlay size at which the session rebases onto "
+                             "a fresh snapshot")
+    stream.add_argument("--verify", action="store_true",
+                        help="after the replay, cold-match the final "
+                             "instance and require byte-identical matches")
+    stream.add_argument("--output", type=Path, default=None,
+                        help="write final resolved clusters to this JSON file")
+
     subparsers.add_parser("info", help="print version and registered similarity functions")
     return parser
 
@@ -194,6 +238,88 @@ def _command_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream_trace(args: argparse.Namespace) -> int:
+    from .streaming import save_delta_log, synthesize_stream
+    dataset = _load(args.dataset)
+    if args.batches < 1:
+        raise SystemExit("--batches must be >= 1")
+    if not 0.0 < args.holdout < 1.0:
+        raise SystemExit("--holdout must be in (0, 1)")
+    scenario = synthesize_stream(dataset, batches=args.batches,
+                                 holdout_fraction=args.holdout,
+                                 seed=args.seed, churn=not args.no_churn)
+    base_path = save_dataset(scenario.base, args.base_output)
+    trace_path = save_delta_log(scenario.log, args.trace_output)
+    print(format_key_values({
+        "final_entities": len(dataset.store.entity_ids()),
+        "base_entities": len(scenario.base.store.entity_ids()),
+        "batches": len(scenario.log),
+        "delta_ops": scenario.log.op_count(),
+    }, title="stream scenario"))
+    print(f"base dataset written to {base_path}")
+    print(f"delta trace written to {trace_path}")
+    return 0
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    from .streaming import StreamSession, load_delta_log
+    dataset = _load(args.dataset)
+    if not args.deltas.exists():
+        raise SystemExit(f"delta trace file not found: {args.deltas}")
+    log = load_delta_log(args.deltas)
+    if args.workers is not None and args.executor is None:
+        raise SystemExit("--workers requires --executor")
+    store = dataset.store
+    if args.store_backend == "compact":
+        store = CompactStore.from_store(store)
+    matcher = _MATCHERS[args.matcher]()
+    session = StreamSession(matcher, store,
+                            blocker=CanopyBlocker(),
+                            relation_names=["coauthor"],
+                            executor=args.executor, workers=args.workers,
+                            rebase_threshold=args.rebase_threshold)
+    cold = session.start()
+    rows = [{
+        "batch": "start",
+        "ops": 0,
+        "reran": f"{cold.reran_neighborhoods}/{cold.total_neighborhoods}",
+        "frac": round(cold.reran_fraction, 3),
+        "added": len(cold.added),
+        "retracted": 0,
+        "matches": len(cold.matches),
+        "seconds": round(cold.elapsed_seconds, 3),
+    }]
+    for batch in log:
+        result = session.apply(batch)
+        rows.append({
+            "batch": result.batch_index,
+            "ops": result.ops,
+            "reran": f"{result.reran_neighborhoods}/{result.total_neighborhoods}",
+            "frac": round(result.reran_fraction, 3),
+            "added": len(result.added),
+            "retracted": len(result.retracted),
+            "matches": len(result.matches),
+            "seconds": round(result.elapsed_seconds, 3),
+        })
+    print(format_table(rows, title=f"{dataset.name}: replay of {log.name} "
+                                   f"({log.op_count()} ops)"))
+
+    if args.verify:
+        identical = session.verify()
+        verdict = "byte-identical" if identical else "MISMATCH"
+        print(f"replay vs cold batch run on the final instance: {verdict}")
+        if not identical:
+            return 1
+
+    if args.output is not None:
+        closed = MatchSet(session.matches).transitive_closure()
+        clusters = [sorted(c) for c in closed.clusters() if len(c) > 1]
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(clusters, indent=1))
+        print(f"wrote {len(clusters)} clusters to {args.output}")
+    return 0
+
+
 def _command_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__}")
     print("presets: " + ", ".join(sorted(_PRESETS)))
@@ -206,6 +332,8 @@ _COMMANDS = {
     "generate": _command_generate,
     "cover": _command_cover,
     "match": _command_match,
+    "stream": _command_stream,
+    "stream-trace": _command_stream_trace,
     "info": _command_info,
 }
 

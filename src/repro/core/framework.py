@@ -64,6 +64,10 @@ class EMFramework:
             else "dict"
         self.matcher = matcher
         self.store = store
+        # Kept for open_stream(): the streaming session rebuilds covers with
+        # the same blocker configuration (None when a cover was supplied).
+        self._blocker: Optional[Blocker] = None
+        self._relation_names: Optional[list] = None
         if cover is not None:
             self.cover = cover
         else:
@@ -87,8 +91,11 @@ class EMFramework:
             else:
                 self.cover = build_total_cover(chosen_blocker, store,
                                                relation_names=relation_names)
+            self._blocker = chosen_blocker
+            self._relation_names = list(relation_names)
         self.cover.validate_covering(store)
         self._runner: Optional[NeighborhoodRunner] = None
+        self._stream = None
 
     # ---------------------------------------------------------------- runner
     @property
@@ -180,6 +187,45 @@ class EMFramework:
         if include_full:
             results["full"] = self.run_full()
         return results
+
+    # ------------------------------------------------------------- streaming
+    def open_stream(self, executor=None, workers: Optional[int] = None,
+                    max_rounds: int = 50, rebase_threshold: int = 5000,
+                    fallback_dirty_fraction: float = 0.5):
+        """Open a delta-ingestion session on this framework's instance.
+
+        The returned :class:`~repro.streaming.StreamSession` cold-runs the
+        SMP grid on the current store (building its own cover with the same
+        blocker configuration — byte-identical to this framework's) and then
+        maintains the standing match set incrementally through
+        :meth:`~repro.streaming.StreamSession.apply`.  Requires the framework
+        to have been constructed from a blocker (not an explicit cover): the
+        streaming layer must be able to rebuild the cover as the instance
+        mutates.
+        """
+        # Imported lazily: repro.streaming imports from repro.parallel.
+        from ..streaming import StreamSession
+        if self._blocker is None:
+            raise ExperimentError(
+                "open_stream requires a blocker-built framework; a framework "
+                "constructed from an explicit cover cannot repair that cover "
+                "as the instance mutates")
+        session = StreamSession(
+            self.matcher, self.store, blocker=self._blocker,
+            relation_names=self._relation_names, executor=executor,
+            workers=workers, max_rounds=max_rounds,
+            rebase_threshold=rebase_threshold,
+            fallback_dirty_fraction=fallback_dirty_fraction)
+        session.start()
+        self._stream = session
+        return session
+
+    def apply_deltas(self, batch):
+        """Apply one :class:`~repro.streaming.ChangeBatch` to the standing
+        stream session (opened lazily with default settings on first use)."""
+        if self._stream is None:
+            self.open_stream()
+        return self._stream.apply(batch)
 
     # ------------------------------------------------------------- utilities
     def cover_stats(self) -> Dict[str, float]:

@@ -37,11 +37,17 @@ from ..matchers import TypeIMatcher, WarmStartCache
 class NeighborhoodRunner:
     """Runs a matcher on the neighborhoods of one cover over one store."""
 
-    def __init__(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover):
+    def __init__(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover,
+                 store_cache: Optional[Dict[str, EntityStore]] = None):
         self.matcher = matcher
         self.store = store
         self.cover = cover
-        self._neighborhood_stores: Dict[str, EntityStore] = {}
+        # ``store_cache`` lets a caller share (and keep) the materialised
+        # neighborhood stores across runs: the streaming layer seeds it with
+        # the stores of neighborhoods whose sub-instance is unchanged, so
+        # caching matchers keep their ground networks across delta batches.
+        self._neighborhood_stores: Dict[str, EntityStore] = \
+            store_cache if store_cache is not None else {}
         # The runner supplies warm starts only when the matcher supports them
         # but does not keep its own per-store result cache (the MLN matcher
         # does, and the stores here are cached with stable identity, so a

@@ -73,6 +73,41 @@ class EntityStore:
         for entity in entities:
             self.add_entity(entity)
 
+    def replace_entity(self, entity: Entity) -> Entity:
+        """Replace a registered entity's record (attribute updates).
+
+        Relations and similarity edges referencing the id are left in place —
+        an attribute update does not change the graph structure.  Returns the
+        previous :class:`Entity`.
+        """
+        try:
+            previous = self._entities[entity.entity_id]
+        except KeyError:
+            raise UnknownEntityError(entity.entity_id) from None
+        self._entities[entity.entity_id] = entity
+        return previous
+
+    def remove_entity(self, entity_id: str) -> Entity:
+        """Remove an entity along with everything referencing it.
+
+        Cascades: every relation tuple touching the entity is discarded and
+        every similarity edge incident to it is removed, so the store stays
+        internally consistent (no dangling references).  The derived-coauthor
+        cache is invalidated because the cascade may mutate the source
+        relation.  Returns the removed :class:`Entity`.
+        """
+        try:
+            entity = self._entities.pop(entity_id)
+        except KeyError:
+            raise UnknownEntityError(entity_id) from None
+        for relation in self._relations.values():
+            for tup in list(relation.tuples_of(entity_id)):
+                relation.discard(*tup)
+        for pair in list(self._similar_index.get(entity_id, ())):
+            self.remove_similarity(pair)
+        self._derived_coauthor.clear()
+        return entity
+
     def entity(self, entity_id: str) -> Entity:
         try:
             return self._entities[entity_id]
@@ -107,6 +142,26 @@ class EntityStore:
         # Any relation change may invalidate cached derivations (the source
         # Authored relation could have been replaced or extended in place).
         self._derived_coauthor.clear()
+
+    def remove_tuple(self, relation_name: str, *entity_ids: str) -> None:
+        """Discard one tuple of a registered relation (no-op when absent).
+
+        Goes through the store so the derived-coauthor cache is invalidated:
+        the removed tuple may belong to the source ``authored`` relation (the
+        snapshot guard in :meth:`derive_coauthor` would also catch the drift,
+        but eager invalidation keeps the cache from pinning stale relations).
+        """
+        self.relation(relation_name).discard(*entity_ids)
+        self._derived_coauthor.clear()
+
+    def remove_relation(self, name: str) -> Relation:
+        """Unregister and return a whole relation."""
+        try:
+            removed = self._relations.pop(name)
+        except KeyError:
+            raise UnknownRelationError(name) from None
+        self._derived_coauthor.clear()
+        return removed
 
     def relation(self, name: str) -> Relation:
         try:
@@ -158,6 +213,24 @@ class EntityStore:
         self._similar[pair] = edge
         for entity_id in pair:
             self._similar_index.setdefault(entity_id, set()).add(pair)
+
+    def remove_similarity(self, pair: EntityPair) -> Optional[SimilarityEdge]:
+        """Remove the similarity edge for ``pair`` (returns it, or ``None``).
+
+        The per-entity similarity postings are updated in place; empty
+        posting buckets are dropped so the index never accumulates dead
+        entries over a long mutation stream.
+        """
+        edge = self._similar.pop(pair, None)
+        if edge is None:
+            return None
+        for entity_id in pair:
+            bucket = self._similar_index.get(entity_id)
+            if bucket is not None:
+                bucket.discard(pair)
+                if not bucket:
+                    del self._similar_index[entity_id]
+        return edge
 
     def similarity(self, pair: EntityPair) -> Optional[SimilarityEdge]:
         """The similarity edge for ``pair``, or ``None`` when the pair was never scored."""

@@ -55,3 +55,7 @@ class RuleParseError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the evaluation/experiment harness for invalid configurations."""
+
+
+class DeltaError(ReproError):
+    """Raised by the streaming layer for malformed or inapplicable deltas."""

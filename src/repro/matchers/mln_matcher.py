@@ -24,6 +24,7 @@ Both caches are dropped on pickling.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..datamodel import EntityPair, EntityStore, Evidence
@@ -47,7 +48,8 @@ class MLNMatcher(TypeIIMatcher):
                  inference: Optional[GreedyCollectiveInference] = None,
                  coauthor_relation: str = "coauthor",
                  cache_networks: bool = True,
-                 cache_results: bool = True):
+                 cache_results: bool = True,
+                 max_cached_stores: int = 2048):
         self.mln = MarkovLogicNetwork(
             rules=rules if rules is not None else paper_author_rules(),
             inference=inference if inference is not None else GreedyCollectiveInference(),
@@ -55,10 +57,21 @@ class MLNMatcher(TypeIIMatcher):
         )
         self.cache_networks = cache_networks
         self.cache_results = cache_results
-        # id(store) -> (store, network).  The store reference keeps the id stable.
-        self._network_cache: Dict[int, Tuple[EntityStore, GroundNetwork]] = {}
-        # id(store) -> (store, WarmStartCache of recent results).
-        self._result_cache: Dict[int, Tuple[EntityStore, WarmStartCache]] = {}
+        if max_cached_stores < 1:
+            raise ValueError("max_cached_stores must be >= 1")
+        #: LRU bound on the number of *stores* with a cached network / result
+        #: cache.  A batch run touches a fixed set of neighborhood stores, but
+        #: a long-running delta stream materialises fresh stores for dirty
+        #: neighborhoods every batch — without a cap the per-store caches
+        #: would pin every one of them forever.  The default comfortably
+        #: covers one instance's worth of neighborhoods (so steady-state runs
+        #: never thrash) while still bounding unattended streams.
+        self.max_cached_stores = max_cached_stores
+        # id(store) -> (store, network), most-recently-used last.  The store
+        # reference keeps the id stable while the entry lives.
+        self._network_cache: "OrderedDict[int, Tuple[EntityStore, GroundNetwork]]" = OrderedDict()
+        # id(store) -> (store, WarmStartCache of recent results), MRU last.
+        self._result_cache: "OrderedDict[int, Tuple[EntityStore, WarmStartCache]]" = OrderedDict()
         #: Number of times :meth:`match` has been invoked (used by the
         #: experiment harness to report matcher work).
         self.match_calls = 0
@@ -71,9 +84,12 @@ class MLNMatcher(TypeIIMatcher):
         key = id(store)
         cached = self._network_cache.get(key)
         if cached is not None and cached[0] is store:
+            self._network_cache.move_to_end(key)
             return cached[1]
         network = self.mln.ground(store)
         self._network_cache[key] = (store, network)
+        while len(self._network_cache) > self.max_cached_stores:
+            self._network_cache.popitem(last=False)
         return network
 
     def _results_for(self, store: EntityStore) -> Optional[WarmStartCache]:
@@ -83,9 +99,12 @@ class MLNMatcher(TypeIIMatcher):
         key = id(store)
         cached = self._result_cache.get(key)
         if cached is not None and cached[0] is store:
+            self._result_cache.move_to_end(key)
             return cached[1]
         fresh = WarmStartCache()
         self._result_cache[key] = (store, fresh)
+        while len(self._result_cache) > self.max_cached_stores:
+            self._result_cache.popitem(last=False)
         return fresh
 
     def clear_cache(self) -> None:
@@ -98,8 +117,8 @@ class MLNMatcher(TypeIIMatcher):
         # process, and shipping ground networks would dwarf the task payload —
         # the worker re-grounds its (small) neighborhood store.
         state = self.__dict__.copy()
-        state["_network_cache"] = {}
-        state["_result_cache"] = {}
+        state["_network_cache"] = OrderedDict()
+        state["_result_cache"] = OrderedDict()
         return state
 
     # -------------------------------------------------------------- matching

@@ -37,7 +37,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, FrozenSet, List, Optional, Set, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from ..blocking import Cover
 from ..core import NeighborhoodRunner, SchemeResult
@@ -68,6 +68,15 @@ class GridRunResult:
     neighborhood_runs: int = 0
     elapsed_seconds: float = 0.0
     executor: str = "serial"
+    #: Final per-neighborhood result of every neighborhood that ran, filled
+    #: only when ``run(collect_results=True)`` — the provenance the streaming
+    #: layer keeps to decide what a later delta invalidates.
+    neighborhood_results: Dict[str, FrozenSet[EntityPair]] = field(default_factory=dict)
+    #: First derivation of each newly-found pair: ``pair -> (neighborhood
+    #: name, 0-based round index)``, deterministic (sorted-name reduce order).
+    #: Also only filled under ``collect_results=True``; pairs seeded through
+    #: ``initial_matches`` keep whatever provenance the caller tracks.
+    pair_origins: Dict[EntityPair, Tuple[str, int]] = field(default_factory=dict)
 
     @property
     def round_count(self) -> int:
@@ -164,13 +173,40 @@ class GridExecutor:
             self.executor = executor
 
     # -------------------------------------------------------------------- run
-    def run(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover) -> GridRunResult:
+    def run(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover,
+            initial_matches: FrozenSet[EntityPair] = frozenset(),
+            initial_active: Optional[Iterable[str]] = None,
+            negative_evidence: FrozenSet[EntityPair] = frozenset(),
+            collect_results: bool = False,
+            store_cache: Optional[Dict[str, EntityStore]] = None) -> GridRunResult:
+        """Run the rounds until no neighborhood produces anything new.
+
+        The defaults reproduce a cold batch run: every neighborhood active in
+        round one, no standing evidence.  The streaming layer instead seeds
+        ``initial_matches`` with the still-valid part of the previous match
+        set, activates only the ``initial_active`` dirty neighborhoods, and
+        threads the standing ``negative_evidence`` into every task; for
+        monotone, idempotent matchers the chaotic iteration from that seed
+        converges to the same fixpoint a cold run reaches on the final
+        instance.  ``collect_results`` returns each ran neighborhood's final
+        matches in :attr:`GridRunResult.neighborhood_results`;
+        ``store_cache`` shares materialised neighborhood stores across runs
+        (the caller owns invalidation — see
+        :class:`~repro.core.runner.NeighborhoodRunner`).
+        """
         if self.scheme == "mmp" and not isinstance(matcher, TypeIIMatcher):
             raise MatcherError("the mmp grid scheme requires a Type-II matcher")
+        active_seed = None if initial_active is None else set(initial_active)
+        if active_seed is not None:
+            unknown = active_seed - set(cover.names())
+            if unknown:
+                raise ExperimentError(
+                    f"initial_active names unknown neighborhoods: {sorted(unknown)[:3]}")
         # The runner is used only to build (and cache across rounds) the
         # restricted neighborhood stores; the matcher calls themselves happen
         # inside the map tasks.
-        runner = NeighborhoodRunner(matcher, store, cover)
+        runner = NeighborhoodRunner(matcher, store, cover,
+                                    store_cache=store_cache)
         started = time.perf_counter()
 
         # Compact snapshot mode: broadcast the store and the matcher once per
@@ -204,12 +240,24 @@ class GridExecutor:
                 return cached
             return neighborhood_store
 
-        matches: Set[EntityPair] = set()
+        matches: Set[EntityPair] = set(initial_matches)
         message_set = MaximalMessageSet()
         probed: Set[str] = set()
-        active: Set[str] = set(cover.names())
+        active: Set[str] = set(cover.names()) if active_seed is None else active_seed
         rounds: List[List[Task]] = []
+        neighborhood_results: Dict[str, FrozenSet[EntityPair]] = {}
         neighborhood_runs = 0
+        # Standing negative evidence, routed once per neighborhood (negatives
+        # never change during a run).
+        negative_index: Dict[str, FrozenSet[EntityPair]] = {}
+        if negative_evidence:
+            routed_negative: Dict[str, Set[EntityPair]] = {}
+            for pair in negative_evidence:
+                for name in cover.neighborhoods_of_pair(pair):
+                    routed_negative.setdefault(name, set()).add(pair)
+            negative_index = {name: frozenset(pairs)
+                              for name, pairs in routed_negative.items()}
+        empty_negative: FrozenSet[EntityPair] = frozenset()
         # Per-neighborhood evidence, maintained incrementally: each new match
         # is routed once to the neighborhoods containing both its entities,
         # instead of re-restricting the full snapshot for every active
@@ -224,9 +272,10 @@ class GridExecutor:
         warm_capable = bool(getattr(matcher, "supports_warm_start", False))
         last_results: Dict[str, FrozenSet[EntityPair]] = {}
 
+        pair_origins: Dict[EntityPair, Tuple[str, int]] = {}
         try:
             with self.executor:
-                for _ in range(self.max_rounds):
+                for round_index in range(self.max_rounds):
                     if not active:
                         break
                     evidence_snapshot = frozenset(matches)
@@ -245,6 +294,7 @@ class GridExecutor:
                             probed.add(name)
                         warm_start = last_results.get(name, frozenset()) \
                             if warm_capable else frozenset()
+                        negative = negative_index.get(name, empty_negative)
                         if use_snapshot:
                             members = member_cache.get(name)
                             if members is None:
@@ -256,7 +306,8 @@ class GridExecutor:
                                 matcher_key=snapshot_keys[1], members=members,
                                 evidence=snapshot.encode_pairs(evidence_index[name]),
                                 compute_messages=compute_messages,
-                                warm_start=snapshot.encode_pairs(warm_start))
+                                warm_start=snapshot.encode_pairs(warm_start),
+                                negative=snapshot.encode_pairs(negative))
                             tasks.append((name, partial(execute_compact_map_task,
                                                         compact_payload)))
                             continue
@@ -264,7 +315,8 @@ class GridExecutor:
                                           store=shippable_store(name),
                                           evidence=frozenset(evidence_index[name]),
                                           compute_messages=compute_messages,
-                                          warm_start=warm_start)
+                                          warm_start=warm_start,
+                                          negative=negative)
                         tasks.append((name, partial(execute_map_task, payload)))
                     results = self.executor.map_tasks(tasks)
 
@@ -275,10 +327,16 @@ class GridExecutor:
                     round_new: Set[EntityPair] = set()
                     for name in sorted(results):
                         result: MapResult = results[name]
-                        round_new |= result.matches - evidence_snapshot
+                        fresh = result.matches - evidence_snapshot
+                        if collect_results:
+                            for pair in fresh - round_new:
+                                pair_origins.setdefault(pair, (name, round_index))
+                        round_new |= fresh
                         message_set.add_all(result.messages)
                         neighborhood_runs += result.matcher_calls
                         round_tasks.append((name, result.duration))
+                        if collect_results:
+                            neighborhood_results[name] = result.matches
                         if warm_capable:
                             last_results[name] = result.matches
                     rounds.append(round_tasks)
@@ -307,6 +365,8 @@ class GridExecutor:
             neighborhood_runs=neighborhood_runs,
             elapsed_seconds=elapsed,
             executor=self.executor.kind,
+            neighborhood_results=neighborhood_results,
+            pair_origins=pair_origins,
         )
 
     # ---------------------------------------------------------------- helpers

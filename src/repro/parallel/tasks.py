@@ -55,6 +55,9 @@ class MapTask:
     #: This neighborhood's matches from the previous round (empty on the
     #: first visit); only ever non-empty for ``supports_warm_start`` matchers.
     warm_start: FrozenSet[EntityPair] = frozenset()
+    #: Standing negative evidence restricted to this neighborhood (pairs the
+    #: matcher must never return).  Empty outside delta-ingestion runs.
+    negative: FrozenSet[EntityPair] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -82,6 +85,8 @@ class CompactMapTask:
     compute_messages: bool = False
     #: Int-encoded previous-round matches (``supports_warm_start`` only).
     warm_start: Tuple[Tuple[int, int], ...] = ()
+    #: Int-encoded standing negative-evidence pairs for this neighborhood.
+    negative: Tuple[Tuple[int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -104,17 +109,22 @@ class _TaskRunner:
     """
 
     def __init__(self, matcher: TypeIMatcher, store: EntityStore,
-                 warm_start: FrozenSet[EntityPair] = frozenset()):
+                 warm_start: FrozenSet[EntityPair] = frozenset(),
+                 negative: FrozenSet[EntityPair] = frozenset()):
         self.matcher = matcher
         self.store = store
         self.warm_start = warm_start if getattr(
             matcher, "supports_warm_start", False) else frozenset()
+        #: Standing negative evidence folded into *every* call (including the
+        #: maximal-message probes), so per-call negatives stay identical —
+        #: which is what keeps warm starts sound.
+        self.negative = negative
         self.calls = 0
 
     def run(self, name: str, positive: Iterable[EntityPair] = (),
             negative: Iterable[EntityPair] = ()) -> FrozenSet[EntityPair]:
-        evidence = Evidence.of(positive, negative).restricted_to(
-            self.store.entity_ids())
+        evidence = Evidence.of(positive, frozenset(negative) | self.negative) \
+            .restricted_to(self.store.entity_ids())
         self.calls += 1
         if self.warm_start:
             # Every call of this task carries at least the task's evidence
@@ -135,7 +145,8 @@ def execute_map_task(task: MapTask) -> MapResult:
     ``functools.partial(execute_map_task, task)`` to its workers.
     """
     started = time.perf_counter()
-    runner = _TaskRunner(task.matcher, task.store, warm_start=task.warm_start)
+    runner = _TaskRunner(task.matcher, task.store, warm_start=task.warm_start,
+                         negative=task.negative)
     found = runner.run(task.name, positive=task.evidence)
     messages: Tuple[MaximalMessage, ...] = ()
     if task.compute_messages:
@@ -166,7 +177,9 @@ def execute_compact_map_task(task: CompactMapTask) -> MapResult:
     view = shared.view_for(task.snapshot, task.members)
     evidence = frozenset(snapshot.decode_pairs(task.evidence))
     warm_start = frozenset(snapshot.decode_pairs(task.warm_start))
-    runner = _TaskRunner(matcher, view, warm_start=warm_start)
+    negative = frozenset(snapshot.decode_pairs(task.negative))
+    runner = _TaskRunner(matcher, view, warm_start=warm_start,
+                         negative=negative)
     found = runner.run(task.name, positive=evidence)
     messages: Tuple[MaximalMessage, ...] = ()
     if task.compute_messages:

@@ -1,0 +1,59 @@
+"""Streaming delta ingestion: incremental maintenance of a standing match set.
+
+The batch pipeline (blocking → cover → message passing) is re-expressed here
+as an incremental system: instance mutations arrive as
+:class:`~repro.streaming.deltas.ChangeBatch` units, a
+:class:`~repro.streaming.overlay.StoreOverlay` layers them over the immutable
+base snapshot, an
+:class:`~repro.streaming.maintainer.IncrementalCoverMaintainer` repairs the
+total cover locally, and a :class:`~repro.streaming.runner.StreamSession`
+re-matches only the dirty neighborhoods — with the contract that replaying
+any delta stream yields matches byte-identical to a cold batch run on the
+final instance.
+"""
+
+from .deltas import (
+    AddEntity,
+    AddEvidence,
+    AddTuple,
+    ChangeBatch,
+    Delta,
+    DeltaLog,
+    RemoveEntity,
+    RemoveEvidence,
+    RemoveSimilarity,
+    RemoveTuple,
+    UpdateEntity,
+    UpsertSimilarity,
+    load_delta_log,
+    save_delta_log,
+)
+from .maintainer import IncrementalCoverMaintainer
+from .overlay import DeltaImpact, RelationOverlay, StoreOverlay
+from .runner import BatchResult, StreamSession
+from .trace import StreamScenario, synthesize_stream
+
+__all__ = [
+    "AddEntity",
+    "AddEvidence",
+    "AddTuple",
+    "BatchResult",
+    "ChangeBatch",
+    "Delta",
+    "DeltaImpact",
+    "DeltaLog",
+    "IncrementalCoverMaintainer",
+    "RelationOverlay",
+    "RemoveEntity",
+    "RemoveEvidence",
+    "RemoveSimilarity",
+    "RemoveTuple",
+    "StoreOverlay",
+    "StreamScenario",
+    "StreamSession",
+    "UpdateEntity",
+    "UpsertSimilarity",
+    "load_delta_log",
+    "save_delta_log",
+    "synthesize_stream",
+]

@@ -1,0 +1,279 @@
+"""Incremental maintenance of the total cover under instance deltas.
+
+A cold cover build does two expensive things: it *scores* every canopy
+center against its token-sharing candidates, and it *expands* every canopy by
+boundary walks over the relations.  Both are pure functions of local slices
+of the instance, which makes them cacheable across delta batches:
+
+* ``canopy_fn(center)`` — the canopy and tight-removal set of one center —
+  depends only on the center's profile, the token postings it touches and the
+  candidates' profiles.  A delta dirties it only when a changed entity shares
+  a token (old or new rendering) with the center.  The maintainer re-runs the
+  *acceptance sweep* (cheap set algebra over the seeded shuffle order) every
+  batch, but recomputes ``canopy_fn`` only for dirty centers — so the
+  resulting canopies are **byte-identical** to a cold
+  :meth:`~repro.blocking.canopy.CanopyBlocker.build_cover` on the final
+  instance while the scoring work is proportional to the dirty fraction.
+* ``expand_members(relations, canopy)`` — the boundary expansion of one
+  canopy — can only change when an added/removed relation tuple touches an
+  entity inside the cached expanded set, so expansions are memoized per
+  canopy member-set and invalidated by the tuple deltas.
+
+When the dirty-center fraction exceeds ``fallback_dirty_fraction`` the
+maintainer falls back to a full reblock (drop the canopy cache, recompute
+everything) — same output, less bookkeeping.  Blockers outside the profiled
+author-name canopy mode (TF-IDF canopies, custom similarities, key-based
+blockers) always take the full-reblock path: their covers depend on global
+state (e.g. IDF weights), so local repair is unsound for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..blocking import Blocker, CanopyBlocker, Cover, Neighborhood
+from ..blocking.boundary import attach_leftover_singletons, expand_members, validate_total
+from ..blocking.canopy import author_name_cheap_similarity
+from ..similarity.profiles import EntityProfile, ProfiledNameScorer
+from ..similarity.tfidf import default_tokenizer
+from .overlay import DeltaImpact
+
+
+class IncrementalCoverMaintainer:
+    """Keeps a total cover in sync with a mutating instance.
+
+    The contract is exact: after every :meth:`update`, the maintained cover
+    equals ``build_total_cover(blocker, store, relation_names, rounds)`` run
+    cold on the current instance — neighborhood names, member sets and
+    ordering included.  This is what lets the delta runner reuse the standing
+    per-neighborhood results of clean neighborhoods while still matching a
+    cold batch run bit for bit.
+    """
+
+    def __init__(self, blocker: Blocker,
+                 relation_names: Optional[Iterable[str]] = None,
+                 rounds: int = 1,
+                 fallback_dirty_fraction: float = 0.5):
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if not 0.0 < fallback_dirty_fraction <= 1.0:
+            raise ValueError("fallback_dirty_fraction must be in (0, 1]")
+        self.blocker = blocker
+        self.relation_names = list(relation_names) if relation_names is not None else None
+        self.rounds = rounds
+        self.fallback_dirty_fraction = fallback_dirty_fraction
+        #: Whether the blocker supports local canopy repair (see module doc).
+        self.supports_local_repair = (
+            isinstance(blocker, CanopyBlocker)
+            and blocker.use_profiles
+            and blocker.similarity is author_name_cheap_similarity)
+        # --- canopy-side caches (local-repair mode only) -------------------
+        self._profiles: Dict[str, EntityProfile] = {}
+        self._parts: Dict[str, Tuple[str, str]] = {}
+        self._postings: Dict[str, Set[str]] = {}
+        self._scorer = ProfiledNameScorer(self._parts)
+        self._canopy_cache: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+        # --- expansion-side cache (all modes) ------------------------------
+        self._expansion_cache: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        # --- per-update statistics -----------------------------------------
+        self.last_dirty_centers = 0
+        self.last_center_count = 0
+        self.last_full_rebuild = False
+
+    # ------------------------------------------------------------- profiles
+    def _relevant(self, entity) -> bool:
+        blocker = self.blocker
+        entity_type = getattr(blocker, "entity_type", None)
+        return entity_type is None or entity.entity_type == entity_type
+
+    def _profile_of(self, entity) -> EntityProfile:
+        return EntityProfile(entity, self.blocker.text_attributes, default_tokenizer)
+
+    def _index_profile(self, entity) -> EntityProfile:
+        profile = self._profile_of(entity)
+        entity_id = entity.entity_id
+        self._profiles[entity_id] = profile
+        self._parts[entity_id] = (profile.norm_first, profile.norm_last)
+        for token in profile.token_set:
+            self._postings.setdefault(token, set()).add(entity_id)
+        return profile
+
+    def _drop_profile(self, entity_id: str) -> Optional[FrozenSet[str]]:
+        profile = self._profiles.pop(entity_id, None)
+        if profile is None:
+            return None
+        self._parts.pop(entity_id, None)
+        for token in profile.token_set:
+            bucket = self._postings.get(token)
+            if bucket is not None:
+                bucket.discard(entity_id)
+                if not bucket:
+                    del self._postings[token]
+        return profile.token_set
+
+    def _candidates(self, center_id: str) -> Set[str]:
+        out: Set[str] = set()
+        postings = self._postings
+        for token in self._profiles[center_id].token_set:
+            bucket = postings.get(token)
+            if bucket is not None:
+                out.update(bucket)
+        out.discard(center_id)
+        return out
+
+    def _canopy_fn(self, center_id: str) -> Tuple[Set[str], Set[str]]:
+        """The profiled per-center canopy, identical to the cold path."""
+        cached = self._canopy_cache.get(center_id)
+        if cached is not None:
+            return set(cached[0]), set(cached[1])
+        blocker: CanopyBlocker = self.blocker  # type: ignore[assignment]
+        canopy: Set[str] = {center_id}
+        removed: Set[str] = {center_id}
+        for candidate_id, score in self._scorer.canopy_scores(
+                center_id, self._candidates(center_id), blocker.loose_threshold):
+            canopy.add(candidate_id)
+            if score >= blocker.tight_threshold:
+                removed.add(candidate_id)
+        self._canopy_cache[center_id] = (frozenset(canopy), frozenset(removed))
+        self.last_dirty_centers += 1
+        return canopy, removed
+
+    # ----------------------------------------------------------- base cover
+    def _base_cover_local(self, store) -> Cover:
+        """Canopy sweep with cached per-center canopies (local-repair mode)."""
+        blocker: CanopyBlocker = self.blocker  # type: ignore[assignment]
+        entities = blocker.clustered_entities(store)
+        self.last_center_count = len(entities)
+        order = blocker.shuffled_order(entities)
+        canopies = blocker.sweep(order, self._canopy_fn)
+        assigned: Set[str] = set()
+        for canopy in canopies:
+            assigned |= canopy
+        for entity in entities:
+            if entity.entity_id not in assigned:
+                canopies.append({entity.entity_id})
+        return Blocker._make_neighborhoods(canopies, prefix="canopy-")
+
+    def _sync_profiles(self, store) -> None:
+        """Cold-start the profile index from the full instance."""
+        self._profiles.clear()
+        self._parts.clear()
+        self._postings.clear()
+        for entity in store.entities():
+            if self._relevant(entity):
+                self._index_profile(entity)
+
+    # ------------------------------------------------------------ expansion
+    def _expand(self, store, base_cover: Cover) -> Cover:
+        names = self.relation_names if self.relation_names is not None \
+            else store.relation_names()
+        relations = [store.relation(name) for name in names]
+        fresh_cache: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        expanded: List[Neighborhood] = []
+        for neighborhood in base_cover:
+            members = neighborhood.entity_ids
+            expansion = self._expansion_cache.get(members)
+            if expansion is None:
+                expansion = frozenset(expand_members(relations, members, self.rounds))
+            fresh_cache[members] = expansion
+            expanded.append(Neighborhood(neighborhood.name, expansion))
+        # Entries for canopies that no longer exist are dropped here, so the
+        # cache never outlives the cover it describes (a member set that
+        # disappears and later reappears must be recomputed: intermediate
+        # batches did not track its staleness).
+        self._expansion_cache = fresh_cache
+        return attach_leftover_singletons(expanded, store)
+
+    # ----------------------------------------------------------------- cold
+    def build(self, store) -> Cover:
+        """Cold build: construct the total cover and seed every cache."""
+        self.last_dirty_centers = 0
+        self.last_full_rebuild = True
+        self._canopy_cache.clear()
+        self._expansion_cache.clear()
+        if self.supports_local_repair:
+            self._sync_profiles(store)
+            base_cover = self._base_cover_local(store)
+        else:
+            base_cover = self.blocker.build_cover(store)
+            self.last_center_count = len(base_cover)
+        total = self._expand(store, base_cover)
+        validate_total(total, store, self.relation_names)
+        return total
+
+    # ---------------------------------------------------------- incremental
+    def update(self, store, impact: DeltaImpact) -> Cover:
+        """Repair the cover for one applied change batch.
+
+        ``store`` is the overlay *after* the batch was applied; ``impact``
+        is the ledger of what the batch touched.
+        """
+        self.last_dirty_centers = 0
+        self.last_full_rebuild = False
+
+        # Expansion invalidation first — it is mode-independent.  A cached
+        # expansion can only change when a changed tuple (or a removed
+        # entity) touches an entity inside the expanded set.
+        touched = impact.tuple_touched_entities() | impact.changed_entity_ids()
+        if touched:
+            self._expansion_cache = {
+                members: expansion
+                for members, expansion in self._expansion_cache.items()
+                if not (expansion & touched)}
+
+        if not self.supports_local_repair:
+            base_cover = self.blocker.build_cover(store)
+            self.last_center_count = len(base_cover)
+            self.last_full_rebuild = True
+            total = self._expand(store, base_cover)
+            validate_total(total, store, self.relation_names)
+            return total
+
+        # ---------------- canopy-side repair (profiled author-name mode) ---
+        dirty_tokens: Set[str] = set()
+        dirty_centers: Set[str] = set()
+        for entity_id in impact.removed_entities:
+            old_tokens = self._drop_profile(entity_id)
+            if old_tokens:
+                dirty_tokens |= old_tokens
+            self._canopy_cache.pop(entity_id, None)
+        for entity_id in impact.updated_entities:
+            old_tokens = self._drop_profile(entity_id)
+            if old_tokens:
+                dirty_tokens |= old_tokens
+            entity = store.entity(entity_id)
+            if self._relevant(entity):
+                dirty_tokens |= self._index_profile(entity).token_set
+                dirty_centers.add(entity_id)
+        for entity_id in impact.added_entities:
+            entity = store.entity(entity_id)
+            if not self._relevant(entity):
+                continue
+            dirty_tokens |= self._index_profile(entity).token_set
+            dirty_centers.add(entity_id)
+        for token in dirty_tokens:
+            bucket = self._postings.get(token)
+            if bucket:
+                dirty_centers |= bucket
+        for center_id in dirty_centers:
+            self._canopy_cache.pop(center_id, None)
+
+        center_count = max(1, len(self._profiles))
+        if len(dirty_centers) / center_count > self.fallback_dirty_fraction:
+            return self.build(store)
+
+        base_cover = self._base_cover_local(store)
+        total = self._expand(store, base_cover)
+        validate_total(total, store, self.relation_names)
+        return total
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> Dict[str, float]:
+        centers = max(1, self.last_center_count)
+        return {
+            "centers": self.last_center_count,
+            "rescored_centers": self.last_dirty_centers,
+            "rescored_fraction": self.last_dirty_centers / centers,
+            "full_rebuild": float(self.last_full_rebuild),
+            "cached_expansions": len(self._expansion_cache),
+        }

@@ -1,0 +1,470 @@
+"""The delta runner: dirty-neighborhood re-matching over a standing match set.
+
+A :class:`StreamSession` owns the standing state of one continuously-updated
+matching problem: the instance (base snapshot + :class:`StoreOverlay`), the
+incrementally-maintained total cover, the standing external evidence, the
+standing match set and — crucially — per-neighborhood *provenance*:
+
+* ``results[members]`` — the last output of the neighborhood with that member
+  set, valid while its sub-instance is untouched (the grid invariant
+  guarantees the last run of every neighborhood saw the full final evidence);
+* ``origins[pair] = (members, round)`` — the neighborhood and global round
+  that *first derived* each standing pair, used to decide which standing
+  matches survive a deletion.
+
+Applying a :class:`~repro.streaming.deltas.ChangeBatch` then runs in four
+steps:
+
+1. **mutate** — deltas are layered into the overlay, producing a
+   :class:`~repro.streaming.overlay.DeltaImpact` ledger;
+2. **repair the cover** — :class:`IncrementalCoverMaintainer` re-scores only
+   the dirty canopies and reuses cached boundary expansions; the result is
+   byte-identical to a cold cover build on the current instance;
+3. **retract** — the provenance is replayed in first-derivation (round)
+   order: a standing pair stays in the seed only when its origin neighborhood
+   is clean and every earlier-round pair inside that neighborhood survived.
+   Pairs that fail are dropped (tombstoned if not re-derived) and every
+   neighborhood containing them is scheduled;
+4. **re-match** — only the dirty/tainted neighborhoods are scheduled through
+   :class:`~repro.parallel.grid.GridExecutor`, seeded with the surviving
+   matches, warm-started per round like any grid run; new pairs activate
+   their neighborhoods exactly as in a cold run.
+
+For idempotent, monotone matchers this chaotic iteration from a sound seed
+converges to the *same least fixpoint* a cold batch run reaches on the final
+instance — replaying any delta stream is byte-identical to matching the
+final instance from scratch (asserted by the hypothesis replay-equivalence
+tests).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from ..blocking import Blocker, CanopyBlocker, Cover
+from ..datamodel import CompactStore, EntityPair, EntityStore, Evidence
+from ..exceptions import DeltaError
+from ..matchers import TypeIMatcher
+from ..parallel.grid import GridExecutor, GridRunResult
+from .deltas import AddEvidence, ChangeBatch, Delta, RemoveEvidence
+from .maintainer import IncrementalCoverMaintainer
+from .overlay import DeltaImpact, StoreOverlay
+
+Members = FrozenSet[str]
+
+#: Provenance round assigned to external positive evidence: it precedes every
+#: derived pair, because a cold run seeds it before round zero.
+_EVIDENCE_ROUND = -1
+
+
+@dataclass
+class BatchResult:
+    """Outcome of applying one change batch (or of the cold start)."""
+
+    batch_index: int
+    #: Number of delta ops applied (0 for the cold start).
+    ops: int
+    #: The standing match set after the batch.
+    matches: FrozenSet[EntityPair]
+    #: Pairs that entered the standing match set this batch.
+    added: FrozenSet[EntityPair]
+    #: Tombstones: pairs retracted from the standing match set this batch.
+    retracted: FrozenSet[EntityPair]
+    #: Neighborhoods scheduled initially (dirty + tainted + evidence-woken).
+    dirty_neighborhoods: int
+    #: Neighborhoods that actually ran (includes chain activations).
+    reran_neighborhoods: int
+    total_neighborhoods: int
+    rounds: int
+    matcher_calls: int
+    elapsed_seconds: float
+    rebased: bool = False
+    cover_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def reran_fraction(self) -> float:
+        return self.reran_neighborhoods / max(1, self.total_neighborhoods)
+
+
+class StreamSession:
+    """Standing matcher state over a mutating instance (see module docs)."""
+
+    def __init__(self, matcher: TypeIMatcher,
+                 store: Union[EntityStore, CompactStore],
+                 blocker: Optional[Blocker] = None,
+                 relation_names: Optional[Iterable[str]] = None,
+                 scheme: str = "smp",
+                 executor=None,
+                 workers: Optional[int] = None,
+                 max_rounds: int = 50,
+                 expansion_rounds: int = 1,
+                 rebase_threshold: int = 5000,
+                 fallback_dirty_fraction: float = 0.5):
+        normalized = scheme.lower().replace("_", "-")
+        if normalized != "smp":
+            raise DeltaError(
+                f"streaming supports the smp scheme only, got {scheme!r} "
+                "(no-mp has no fixpoint to maintain; mmp carries message "
+                "state the delta runner does not track)")
+        self.matcher = matcher
+        self.scheme = "smp"
+        if relation_names is None:
+            relation_names = ["coauthor"] if store.has_relation("coauthor") \
+                else store.relation_names()
+        self.relation_names = list(relation_names)
+        self.blocker = blocker if blocker is not None else CanopyBlocker()
+        if rebase_threshold < 1:
+            raise ValueError("rebase_threshold must be >= 1")
+        self.rebase_threshold = rebase_threshold
+        self.overlay = StoreOverlay(store)
+        self.maintainer = IncrementalCoverMaintainer(
+            self.blocker, relation_names=self.relation_names,
+            rounds=expansion_rounds,
+            fallback_dirty_fraction=fallback_dirty_fraction)
+        self._grid = GridExecutor(scheme="smp", max_rounds=max_rounds,
+                                  executor=executor, workers=workers)
+        #: A pristine copy of the matcher (pickling drops its caches) used by
+        #: :meth:`cold_matches` so verification never sees warm state.
+        self._matcher_blueprint = pickle.dumps(matcher)
+        # ----------------------------- standing state -----------------------
+        self.cover: Optional[Cover] = None
+        self.matches: FrozenSet[EntityPair] = frozenset()
+        self.evidence: Evidence = Evidence.empty()
+        self._results: Dict[Members, FrozenSet[EntityPair]] = {}
+        self._origins: Dict[EntityPair, Tuple[Members, int]] = {}
+        # Materialised neighborhood stores of *clean* neighborhoods, kept
+        # across batches so caching matchers (the MLN matcher's per-store
+        # ground networks and warm-start results) survive between deltas —
+        # re-grounding is then paid only where the sub-instance changed.
+        self._store_cache: Dict[Members, EntityStore] = {}
+        self._round_offset = 0
+        self.batches_applied = 0
+        self.started = False
+
+    # ------------------------------------------------------------ store view
+    def _store_view(self):
+        """The instance the cover and the matcher runs read.
+
+        With no layered mutations (cold start, or right after a rebase) the
+        base snapshot is handed out directly so a compact base keeps its
+        zero-copy restriction path.
+        """
+        if self.overlay.delta_size() == 0:
+            return self.overlay.base
+        return self.overlay
+
+    # ------------------------------------------------------------ cold start
+    def start(self) -> BatchResult:
+        """Cold-build the cover, run the full batch matcher, seed provenance."""
+        if self.started:
+            raise DeltaError("stream session already started")
+        started_at = time.perf_counter()
+        store = self._store_view()
+        cover = self.maintainer.build(store)
+        name_cache: Dict[str, EntityStore] = {}
+        # Pairless neighborhoods produce nothing — skip them here and record
+        # empty standing results in ``_absorb``.
+        matchable = [neighborhood.name for neighborhood in cover
+                     if len(neighborhood) > 1]
+        result = self._grid.run(self.matcher, store, cover,
+                                initial_matches=self.evidence.positive,
+                                initial_active=matchable,
+                                negative_evidence=self.evidence.negative,
+                                collect_results=True,
+                                store_cache=name_cache)
+        self.cover = cover
+        self._absorb(result, cover, clean_results={}, name_cache=name_cache)
+        self.started = True
+        self.batches_applied = 0
+        return BatchResult(
+            batch_index=0,
+            ops=0,
+            matches=self.matches,
+            added=self.matches,
+            retracted=frozenset(),
+            dirty_neighborhoods=len(cover),
+            reran_neighborhoods=len(result.neighborhood_results),
+            total_neighborhoods=len(cover),
+            rounds=result.round_count,
+            matcher_calls=result.neighborhood_runs,
+            elapsed_seconds=time.perf_counter() - started_at,
+            cover_stats=self.maintainer.stats(),
+        )
+
+    # ----------------------------------------------------------- apply batch
+    def apply(self, batch: ChangeBatch) -> BatchResult:
+        """Apply one change batch and restore the standing-state invariants."""
+        if not self.started:
+            self.start()
+        started_at = time.perf_counter()
+        previous_matches = self.matches
+
+        impact = DeltaImpact()
+        for delta in batch:
+            self._apply_delta(delta, impact)
+        self._cascade_evidence_removals(impact)
+
+        cover = self.maintainer.update(self.overlay, impact)
+        dirty_names = self._dirty_neighborhoods(cover, impact)
+        valid, active = self._retract(cover, dirty_names, impact)
+
+        # Seed the grid with the cached stores of clean neighborhoods: their
+        # sub-instance is unchanged, so re-activated runs hit the matcher's
+        # per-store caches instead of re-grounding.
+        name_cache: Dict[str, EntityStore] = {}
+        for neighborhood in cover:
+            if neighborhood.name in dirty_names:
+                continue
+            cached = self._store_cache.get(neighborhood.entity_ids)
+            if cached is not None:
+                name_cache[neighborhood.name] = cached
+
+        store = self._store_view()
+        result = self._grid.run(
+            self.matcher, store, cover,
+            initial_matches=frozenset(valid),
+            initial_active=active,
+            negative_evidence=self.evidence.negative,
+            collect_results=True,
+            store_cache=name_cache)
+
+        clean_results = dict(self._results)
+        self.cover = cover
+        self._absorb(result, cover, clean_results=clean_results,
+                     name_cache=name_cache)
+
+        rebased = False
+        if self.overlay.delta_size() >= self.rebase_threshold:
+            self.overlay = StoreOverlay(self.overlay.rebase())
+            rebased = True
+
+        self.batches_applied += 1
+        return BatchResult(
+            batch_index=self.batches_applied,
+            ops=len(batch),
+            matches=self.matches,
+            added=self.matches - previous_matches,
+            retracted=previous_matches - self.matches,
+            dirty_neighborhoods=len(active),
+            reran_neighborhoods=len(result.neighborhood_results),
+            total_neighborhoods=len(cover),
+            rounds=result.round_count,
+            matcher_calls=result.neighborhood_runs,
+            elapsed_seconds=time.perf_counter() - started_at,
+            rebased=rebased,
+            cover_stats=self.maintainer.stats(),
+        )
+
+    def replay(self, batches: Iterable[ChangeBatch]) -> List[BatchResult]:
+        """Apply a sequence of batches; returns one result per batch."""
+        return [self.apply(batch) for batch in batches]
+
+    # --------------------------------------------------------------- deltas
+    def _apply_delta(self, delta: Delta, impact: DeltaImpact) -> None:
+        if isinstance(delta, AddEvidence):
+            pair = delta.pair
+            for entity_id in pair:
+                if not self.overlay.has_entity(entity_id):
+                    raise DeltaError(f"evidence references unknown entity "
+                                     f"{entity_id!r}")
+            # Latest assertion wins: asserting one polarity retracts the
+            # other, so a stream can flip a verdict without an explicit
+            # remove_evidence in between.
+            if delta.polarity == "positive":
+                if pair in self.evidence.positive:
+                    return
+                self.evidence = Evidence(
+                    self.evidence.positive | {pair},
+                    self.evidence.negative - {pair})
+                impact.added_positive_evidence.add(pair)
+            else:
+                if pair in self.evidence.negative:
+                    return
+                self.evidence = Evidence(
+                    self.evidence.positive - {pair},
+                    self.evidence.negative | {pair})
+            impact.changed_evidence.add(pair)
+        elif isinstance(delta, RemoveEvidence):
+            pair = delta.pair
+            if delta.polarity == "positive":
+                if pair not in self.evidence.positive:
+                    return
+                self.evidence = Evidence(self.evidence.positive - {pair},
+                                         self.evidence.negative)
+            else:
+                if pair not in self.evidence.negative:
+                    return
+                self.evidence = Evidence(self.evidence.positive,
+                                         self.evidence.negative - {pair})
+            impact.changed_evidence.add(pair)
+        else:
+            self.overlay.apply_delta(delta, impact)
+
+    def _cascade_evidence_removals(self, impact: DeltaImpact) -> None:
+        """Standing evidence on removed entities is retracted with them."""
+        if not impact.removed_entities:
+            return
+        removed = impact.removed_entities
+        stale_pos = frozenset(p for p in self.evidence.positive
+                              if p.first in removed or p.second in removed)
+        stale_neg = frozenset(p for p in self.evidence.negative
+                              if p.first in removed or p.second in removed)
+        if stale_pos or stale_neg:
+            self.evidence = Evidence(self.evidence.positive - stale_pos,
+                                     self.evidence.negative - stale_neg)
+            impact.changed_evidence |= stale_pos | stale_neg
+
+    # ------------------------------------------------------------ dirtiness
+    def _dirty_neighborhoods(self, cover: Cover,
+                             impact: DeltaImpact) -> Set[str]:
+        """Neighborhoods of the *new* cover whose sub-instance (or standing
+        per-neighborhood result) is stale."""
+        dirty: Set[str] = set()
+        known = self._results
+        for neighborhood in cover:
+            if neighborhood.entity_ids not in known:
+                dirty.add(neighborhood.name)
+        for entity_id in impact.updated_entities:
+            dirty |= cover.neighborhoods_of(entity_id)
+        for pair in impact.changed_similarity | impact.changed_evidence:
+            dirty |= cover.neighborhoods_of_pair(pair)
+        for _, tup in impact.changed_tuples:
+            common: Optional[Set[str]] = None
+            for entity_id in tup:
+                memberships = cover.neighborhoods_of(entity_id)
+                common = set(memberships) if common is None \
+                    else common & memberships
+                if not common:
+                    break
+            if common:
+                dirty |= common
+        # Pairless neighborhoods cannot produce (or lose) matches — exclude
+        # them from scheduling; ``_absorb`` records their standing result as
+        # empty without ever running the matcher on them.
+        return {name for name in dirty if len(cover.neighborhood(name)) > 1}
+
+    # ------------------------------------------------------------ retraction
+    def _retract(self, cover: Cover, dirty_names: Set[str],
+                 impact: DeltaImpact) -> Tuple[Set[EntityPair], Set[str]]:
+        """Delete-and-rederive seed: the surviving matches and the active set.
+
+        A standing pair survives iff its first-derivation neighborhood is
+        clean in the new cover and every pair that derivation could have used
+        as evidence (earlier-round pairs inside the same neighborhood)
+        survives too.  The recursion is well-founded because the grid derives
+        matches in stratified rounds.  Anything that does not survive is
+        dropped from the seed, and every neighborhood whose sub-instance
+        contains a dropped pair is scheduled for re-matching — if the pair is
+        still genuinely derivable the re-run brings it straight back.
+        """
+        clean_sets = {
+            neighborhood.entity_ids: neighborhood.name
+            for neighborhood in cover
+            if neighborhood.name not in dirty_names
+            and neighborhood.entity_ids in self._results}
+
+        # Standing pairs inside each clean neighborhood (candidate deps).
+        inside: Dict[Members, List[EntityPair]] = {}
+        for pair in self.matches:
+            for name in cover.neighborhoods_of_pair(pair):
+                members = cover.neighborhood(name).entity_ids
+                if members in clean_sets:
+                    inside.setdefault(members, []).append(pair)
+
+        def round_of(pair: EntityPair) -> int:
+            origin = self._origins.get(pair)
+            return origin[1] if origin is not None else _EVIDENCE_ROUND
+
+        valid: Set[EntityPair] = set(self.evidence.positive)
+        for pair in sorted(self.matches, key=lambda p: (round_of(p), p)):
+            if pair in valid:
+                continue
+            origin = self._origins.get(pair)
+            if origin is None:
+                continue  # was external evidence, since retracted
+            members, pair_round = origin
+            if members not in clean_sets:
+                continue
+            deps_ok = all(
+                dep in valid
+                for dep in inside.get(members, ())
+                if dep != pair and round_of(dep) < pair_round)
+            if deps_ok:
+                valid.add(pair)
+
+        active = set(dirty_names)
+        for pair in self.matches - valid:
+            active |= cover.neighborhoods_of_pair(pair)
+        if impact.added_positive_evidence:
+            active |= cover.neighbors_of_pairs(impact.added_positive_evidence)
+        return valid, {name for name in active
+                       if len(cover.neighborhood(name)) > 1}
+
+    # -------------------------------------------------------------- absorb
+    def _absorb(self, result: GridRunResult, cover: Cover,
+                clean_results: Dict[Members, FrozenSet[EntityPair]],
+                name_cache: Dict[str, EntityStore]) -> None:
+        """Fold a grid run into the standing state (results + provenance)."""
+        members_of = {name: cover.neighborhood(name).entity_ids
+                      for name in result.neighborhood_results}
+        fresh: Dict[Members, FrozenSet[EntityPair]] = {}
+        stores: Dict[Members, EntityStore] = {}
+        for neighborhood in cover:
+            members = neighborhood.entity_ids
+            ran = result.neighborhood_results.get(neighborhood.name)
+            if ran is not None:
+                fresh[members] = ran
+            else:
+                kept = clean_results.get(members)
+                if kept is not None:
+                    fresh[members] = kept
+                elif len(members) < 2:
+                    # Never scheduled: a pairless neighborhood's output is
+                    # empty by construction.
+                    fresh[members] = frozenset()
+            cached_store = name_cache.get(neighborhood.name)
+            if cached_store is not None:
+                stores[members] = cached_store
+        self._results = fresh
+        self._store_cache = stores
+        self.matches = result.matches
+        for pair, (name, round_index) in result.pair_origins.items():
+            self._origins[pair] = (members_of[name],
+                                   self._round_offset + round_index)
+        self._round_offset += max(1, result.round_count)
+        self._origins = {pair: origin for pair, origin in self._origins.items()
+                         if pair in self.matches}
+
+    # -------------------------------------------------------- verification
+    def fresh_matcher(self) -> TypeIMatcher:
+        """A cache-free copy of the session's matcher (same configuration)."""
+        return pickle.loads(self._matcher_blueprint)
+
+    def final_store(self) -> EntityStore:
+        """The current instance, materialised as a plain dict store."""
+        return self.overlay.to_entity_store()
+
+    def cold_matches(self) -> FrozenSet[EntityPair]:
+        """A cold batch run on the current (final) instance.
+
+        Builds the cover from scratch with the same blocker configuration and
+        runs the same scheme under a serial grid with a pristine matcher —
+        the reference the replay-equivalence contract is checked against.
+        """
+        from ..blocking import build_total_cover
+        store = self.final_store()
+        cover = build_total_cover(self.blocker, store,
+                                  relation_names=self.relation_names,
+                                  rounds=self.maintainer.rounds)
+        grid = GridExecutor(scheme="smp", max_rounds=self._grid.max_rounds)
+        result = grid.run(self.fresh_matcher(), store, cover,
+                          initial_matches=self.evidence.positive,
+                          negative_evidence=self.evidence.negative)
+        return result.matches
+
+    def verify(self) -> bool:
+        """Whether the standing matches equal a cold run on the final instance."""
+        return self.matches == self.cold_matches()

@@ -1,0 +1,211 @@
+"""Deterministic delta-trace synthesis from a labelled dataset.
+
+A replayable streaming scenario is built by *holding out* part of a final
+instance: the base instance is the restriction of the final store to the kept
+entities, and the delta log streams the held-out entities (plus the relation
+tuples and similarity edges that become expressible as their endpoints
+arrive) back in across a fixed number of batches.  On top of the pure
+insertion stream the synthesiser mixes in churn that exercises every delta
+kind while leaving the *final* instance exactly equal to the input dataset:
+
+* transient entities — cloned author references inserted and later removed;
+* transient similarity edges and relation tuples — added and later retracted;
+* corrections — a held-out entity first arrives with a mutated name and is
+  later fixed by an ``update_entity`` delta;
+* (optionally) transient external evidence assertions.
+
+Because the final instance is restored exactly, replaying the scenario and
+cold-matching the original dataset must produce byte-identical match sets —
+the property the replay-equivalence tests and the ``--verify`` flag of the
+``stream`` CLI check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..datamodel import Entity, EntityPair
+from ..datasets import BibliographicDataset
+from .deltas import (
+    AddEntity,
+    AddEvidence,
+    AddTuple,
+    ChangeBatch,
+    DeltaLog,
+    RemoveEntity,
+    RemoveEvidence,
+    RemoveSimilarity,
+    RemoveTuple,
+    UpdateEntity,
+    UpsertSimilarity,
+)
+
+
+@dataclass
+class StreamScenario:
+    """A base instance plus the delta log that rebuilds the final instance."""
+
+    base: BibliographicDataset
+    log: DeltaLog
+    final: BibliographicDataset
+
+
+def _mutate_name(value: str, rng: random.Random) -> str:
+    """A small deterministic typo used for the correction churn."""
+    if len(value) < 2:
+        return value + "x"
+    index = rng.randrange(len(value) - 1)
+    return value[:index] + value[index + 1] + value[index] + value[index + 2:]
+
+
+def synthesize_stream(dataset: BibliographicDataset,
+                      batches: int = 8,
+                      holdout_fraction: float = 0.3,
+                      seed: int = 7,
+                      churn: bool = True,
+                      evidence: bool = False) -> StreamScenario:
+    """Build a deterministic streaming scenario from ``dataset`` (see module docs)."""
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    rng = random.Random(seed)
+    final_store = dataset.store
+
+    all_ids = sorted(final_store.entity_ids())
+    holdout_count = max(1, int(len(all_ids) * holdout_fraction))
+    shuffled = list(all_ids)
+    rng.shuffle(shuffled)
+    holdout = shuffled[:holdout_count]
+    kept = set(all_ids) - set(holdout)
+    if not kept:
+        raise ValueError("holdout_fraction leaves no base instance")
+
+    base_store = final_store.restrict(kept)
+    base_labels = {entity_id: label for entity_id, label in dataset.labels.items()
+                   if entity_id in kept}
+    base = BibliographicDataset(
+        name=f"{dataset.name}-stream-base", store=base_store,
+        labels=base_labels,
+        config=dict(dataset.config, stream_seed=seed, stream_batches=batches))
+
+    # Spread the held-out entities over the batches (deterministic order).
+    chunks: List[List[str]] = [[] for _ in range(batches)]
+    for index, entity_id in enumerate(holdout):
+        chunks[index % batches].append(entity_id)
+
+    present: Set[str] = set(kept)
+    emitted_tuples: Dict[str, Set[Tuple[str, ...]]] = {
+        relation.name: set(relation.tuples()) for relation in base_store.relations()}
+    emitted_edges: Set[EntityPair] = set(base_store.similar_pairs())
+
+    # Corrections: a few held-out authors first arrive with a typo'd name.
+    corrections: Dict[str, Entity] = {}
+    correction_pool = [eid for eid in holdout
+                       if final_store.entity(eid).entity_type == "author"]
+    for entity_id in correction_pool[:max(1, len(correction_pool) // 10)] \
+            if churn else []:
+        true_entity = final_store.entity(entity_id)
+        fname = str(true_entity.get("fname", ""))
+        corrections[entity_id] = Entity(
+            entity_id, true_entity.entity_type,
+            dict(true_entity.attributes, fname=_mutate_name(fname, rng)))
+
+    # Deferred cleanup ops, scheduled two batches after their introduction.
+    scheduled: Dict[int, List] = {}
+
+    def schedule(batch_index: int, op) -> None:
+        scheduled.setdefault(min(batch_index, batches - 1), []).append(op)
+
+    log = DeltaLog(name=f"{dataset.name}-stream")
+    for batch_index in range(batches):
+        batch = ChangeBatch()
+
+        # 1. Stream in this chunk of held-out entities.
+        for entity_id in sorted(chunks[batch_index]):
+            entity = corrections.get(entity_id, final_store.entity(entity_id))
+            batch.append(AddEntity(entity))
+            present.add(entity_id)
+
+        # 2. Relation tuples whose members are now all present.
+        for relation in final_store.relations():
+            seen = emitted_tuples.setdefault(relation.name, set())
+            for tup in sorted(relation.tuples_touching(set(chunks[batch_index]))):
+                if tup in seen:
+                    continue
+                if all(member in present for member in tup):
+                    seen.add(tup)
+                    batch.append(AddTuple(relation.name, tup))
+
+        # 3. Similarity edges whose endpoints are now both present.
+        for entity_id in sorted(chunks[batch_index]):
+            for pair in sorted(final_store.similar_pairs_of(entity_id)):
+                if pair in emitted_edges:
+                    continue
+                if pair.first in present and pair.second in present:
+                    emitted_edges.add(pair)
+                    edge = final_store.similarity(pair)
+                    batch.append(UpsertSimilarity(pair, edge.score, edge.level))
+
+        # 4. Corrections for typo'd arrivals from two batches ago.
+        for entity_id in sorted(corrections):
+            if entity_id in chunks[batch_index]:
+                schedule(batch_index + 2,
+                         UpdateEntity(final_store.entity(entity_id)))
+
+        # 5. Churn: transient entity + edge + tuple, retracted later.
+        if churn and batch_index < batches - 1:
+            authors = sorted(eid for eid in present
+                             if final_store.has_entity(eid)
+                             and final_store.entity(eid).entity_type == "author")
+            if len(authors) >= 2:
+                source_id = authors[rng.randrange(len(authors))]
+                source = final_store.entity(source_id)
+                churn_id = f"zz-churn-{batch_index}"
+                batch.append(AddEntity(Entity(churn_id, "author",
+                                              dict(source.attributes))))
+                batch.append(UpsertSimilarity(EntityPair.of(churn_id, source_id),
+                                              0.95, 3))
+                if final_store.has_relation("coauthor"):
+                    partner = authors[rng.randrange(len(authors))]
+                    if partner != source_id:
+                        batch.append(AddTuple("coauthor",
+                                              tuple(sorted((churn_id, partner)))))
+                schedule(batch_index + 2, RemoveEntity(churn_id))
+                # A transient edge between two real authors, retracted later.
+                other_id = authors[rng.randrange(len(authors))]
+                if other_id != source_id:
+                    transient = EntityPair.of(source_id, other_id)
+                    if final_store.similarity(transient) is None \
+                            and transient not in emitted_edges:
+                        batch.append(UpsertSimilarity(transient, 0.8, 2))
+                        schedule(batch_index + 2, RemoveSimilarity(transient))
+                # A transient coauthor tuple between two real authors.
+                if final_store.has_relation("coauthor"):
+                    left = authors[rng.randrange(len(authors))]
+                    right = authors[rng.randrange(len(authors))]
+                    if left != right:
+                        tup = tuple(sorted((left, right)))
+                        if tup not in emitted_tuples.get("coauthor", set()):
+                            batch.append(AddTuple("coauthor", tup))
+                            schedule(batch_index + 2, RemoveTuple("coauthor", tup))
+
+        # 6. Transient external evidence (optional).
+        if evidence and batch_index < batches - 1:
+            true_pairs = sorted(dataset.true_matches() & {
+                pair for pair in emitted_edges
+                if pair.first in present and pair.second in present})
+            if true_pairs:
+                pair = true_pairs[rng.randrange(len(true_pairs))]
+                batch.append(AddEvidence(pair, "positive"))
+                schedule(batch_index + 2, RemoveEvidence(pair, "positive"))
+
+        # 7. Scheduled cleanups falling due this batch.
+        for op in scheduled.pop(batch_index, []):
+            batch.append(op)
+
+        log.append(batch)
+
+    return StreamScenario(base=base, log=log, final=dataset)

@@ -221,3 +221,44 @@ class TestPropertyCheckers:
         report = check_idempotence(BrokenMatcher(), store, trials=3)
         report = report.merge(check_monotonicity(BrokenMatcher(), store, trials=3))
         assert not report.ok
+
+
+class TestMLNCacheBounds:
+    """The per-store cache LRU cap added for long-running streams (PR 5)."""
+
+    def test_store_caches_are_lru_bounded(self):
+        matcher = MLNMatcher(max_cached_stores=3)
+        stores = [build_shared_coauthor_store() for _ in range(5)]
+        for store in stores:
+            matcher.match(store)
+        assert len(matcher._network_cache) == 3
+        assert len(matcher._result_cache) == 3
+        # The most recent stores survive, the oldest were evicted.
+        cached_ids = set(matcher._network_cache)
+        assert cached_ids == {id(store) for store in stores[-3:]}
+
+    def test_lru_refreshes_on_reuse(self):
+        matcher = MLNMatcher(max_cached_stores=2)
+        first, second, third = (build_shared_coauthor_store() for _ in range(3))
+        matcher.match(first)
+        matcher.match(second)
+        matcher.match(first)   # refresh `first` to most-recent
+        matcher.match(third)   # evicts `second`, not `first`
+        assert id(first) in matcher._network_cache
+        assert id(second) not in matcher._network_cache
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MLNMatcher(max_cached_stores=0)
+
+    def test_pickling_drops_bounded_caches(self):
+        import pickle
+        matcher = MLNMatcher(max_cached_stores=4)
+        store = build_shared_coauthor_store()
+        matcher.match(store)
+        clone = pickle.loads(pickle.dumps(matcher))
+        assert len(clone._network_cache) == 0
+        assert clone.max_cached_stores == 4
+        # The revived caches keep working (and stay bounded).
+        clone.match(build_shared_coauthor_store())
+        assert len(clone._network_cache) == 1

@@ -205,3 +205,64 @@ class TestMisc:
         assert stats["entities"] == 4
         assert stats["similar_pairs"] == 1
         assert stats["relations"] == 2
+
+
+class TestMutationRemoval:
+    """The removal API added for the streaming layer (PR 5)."""
+
+    def test_remove_similarity_updates_postings(self):
+        store = build_store()
+        pair = EntityPair.of("a1", "a2")
+        removed = store.remove_similarity(pair)
+        assert removed is not None and removed.pair == pair
+        assert store.similarity(pair) is None
+        assert store.similar_pairs() == frozenset()
+        assert store.similar_pairs_of("a1") == frozenset()
+        # Removing again is a no-op returning None.
+        assert store.remove_similarity(pair) is None
+        # The postings bucket is gone, so restriction never revisits it.
+        assert store.restrict(["a1", "a2"]).similar_pairs() == frozenset()
+
+    def test_remove_tuple_invalidates_derived_coauthor(self):
+        store = build_store()
+        assert store.relation("coauthor").contains("a1", "b1")
+        store.remove_tuple("authored", "b1", "p1")
+        derived = store.derive_coauthor("authored")
+        assert not derived.contains("a1", "b1")
+        assert len(derived) == 0
+
+    def test_remove_tuple_unknown_relation_raises(self):
+        with pytest.raises(UnknownRelationError):
+            build_store().remove_tuple("nope", "a1", "p1")
+
+    def test_remove_entity_cascades(self):
+        store = build_store()
+        removed = store.remove_entity("a1")
+        assert removed.entity_id == "a1"
+        assert not store.has_entity("a1")
+        assert store.similar_pairs() == frozenset()
+        assert store.relation("authored").tuples_of("a1") == frozenset()
+        assert ("a1", "p1") not in store.relation("authored")
+        # The derived-coauthor cache was invalidated by the cascade.
+        derived = store.derive_coauthor("authored")
+        assert len(derived) == 0
+        with pytest.raises(UnknownEntityError):
+            store.remove_entity("a1")
+
+    def test_replace_entity_keeps_graph(self):
+        store = build_store()
+        previous = store.replace_entity(make_author("a1", "Adeline", "Lovelace"))
+        assert previous["fname"] == "Ada"
+        assert store.entity("a1")["fname"] == "Adeline"
+        assert store.similarity(EntityPair.of("a1", "a2")) is not None
+        assert ("a1", "p1") in store.relation("authored")
+        with pytest.raises(UnknownEntityError):
+            store.replace_entity(make_author("zz", "No", "Body"))
+
+    def test_remove_relation(self):
+        store = build_store()
+        removed = store.remove_relation("coauthor")
+        assert removed.name == "coauthor"
+        assert not store.has_relation("coauthor")
+        with pytest.raises(UnknownRelationError):
+            store.remove_relation("coauthor")
