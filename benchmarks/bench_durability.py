@@ -1,0 +1,248 @@
+"""Bench: durability tax — WAL append overhead, checkpoint cost, recovery time.
+
+PR 6 added the durability layer (:mod:`repro.durability`): a
+:class:`~repro.durability.DurableStreamSession` commits every change batch
+to a write-ahead log before it mutates the standing state, publishes
+periodic snapshot checkpoints, and can rebuild the session from disk after
+a crash.  This bench quantifies what that safety costs on the bundled dblp
+streaming scenario:
+
+* **WAL append overhead** — wall-clock of a full durable replay
+  (``checkpoint_every=0``, so the WAL is the only extra work) against the
+  identical in-memory replay; the gate is an overhead at or below target
+  (≤ 25% on the bundled scenario);
+* **checkpoint cost** — wall-clock and on-disk size of one full snapshot
+  checkpoint (store + standing results + provenance + pickled components);
+* **recovery time vs tail length** — wall-clock of
+  :meth:`DurableStreamSession.recover` with the checkpoint placed so the
+  WAL tail holds 0, half, or all of the stream's batches, plus the
+  byte-identity of the recovered match set.
+
+Run standalone (this is what the CI perf-smoke step does)::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py --smoke --check
+
+or through pytest together with the other benches::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q -s bench_durability.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.atomicio import atomic_write_json
+from repro.blocking import CanopyBlocker
+from repro.datasets import dblp_like
+from repro.durability import DurableStreamSession, WAL_FILENAME
+from repro.matchers import MLNMatcher
+from repro.streaming import StreamSession, synthesize_stream
+
+#: Named workload sizes.  ``smoke`` is the CI gate (seconds); ``default`` is
+#: the recorded trajectory point on the dblp default config.
+CONFIGS: Dict[str, Dict] = {
+    "smoke": {"scale": 0.25, "batches": 8, "holdout": 0.2, "seed": 7,
+              "fsync": True, "wal_overhead_target": 0.25},
+    "default": {"scale": 1.0, "batches": 24, "holdout": 0.15, "seed": 7,
+                "fsync": True, "wal_overhead_target": 0.25},
+}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_durability.json"
+
+RELATIONS = ["coauthor"]
+
+
+def _session(scenario, config) -> StreamSession:
+    return StreamSession(MLNMatcher(), scenario.base.store.copy(),
+                         blocker=CanopyBlocker(), relation_names=RELATIONS)
+
+
+def _timed_replay(session, log) -> float:
+    started = time.perf_counter()
+    for batch in log:
+        session.apply(batch)
+    return time.perf_counter() - started
+
+
+def measure_wal_overhead(scenario, config: Dict) -> Dict:
+    """Identical replays, with and without the write-ahead log."""
+    plain = _session(scenario, config)
+    plain.start()
+    in_memory_seconds = _timed_replay(plain, scenario.log)
+
+    with tempfile.TemporaryDirectory(prefix="bench-durability-") as tmp:
+        durable = DurableStreamSession(_session(scenario, config), tmp,
+                                       checkpoint_every=0,
+                                       fsync=config["fsync"])
+        durable.start()
+        durable_seconds = _timed_replay(durable, scenario.log)
+        wal_bytes = (Path(tmp) / WAL_FILENAME).stat().st_size
+        identical = durable.matches == plain.matches
+        durable.close(checkpoint=False)
+
+    overhead = durable_seconds / in_memory_seconds - 1.0 \
+        if in_memory_seconds > 0 else 0.0
+    return {
+        "in_memory_seconds": round(in_memory_seconds, 4),
+        "durable_seconds": round(durable_seconds, 4),
+        "wal_overhead_fraction": round(overhead, 4),
+        "wal_bytes": wal_bytes,
+        "fsync": config["fsync"],
+        "matches_identical": identical,
+    }
+
+
+def measure_checkpoint_cost(scenario, config: Dict) -> Dict:
+    """Cost of one full snapshot checkpoint at the end of the stream."""
+    with tempfile.TemporaryDirectory(prefix="bench-durability-") as tmp:
+        durable = DurableStreamSession(_session(scenario, config), tmp,
+                                       checkpoint_every=0,
+                                       fsync=config["fsync"])
+        durable.replay(scenario.log)
+        started = time.perf_counter()
+        path = durable.checkpoint()
+        elapsed = time.perf_counter() - started
+        size = path.stat().st_size
+        durable.close(checkpoint=False)
+    return {
+        "checkpoint_seconds": round(elapsed, 4),
+        "checkpoint_bytes": size,
+    }
+
+
+def measure_recovery(scenario, config: Dict, reference_matches) -> List[Dict]:
+    """Recovery wall-clock with 0, half, and all batches in the WAL tail."""
+    total = len(scenario.log)
+    rows = []
+    for tail in sorted({0, total // 2, total}):
+        with tempfile.TemporaryDirectory(prefix="bench-durability-") as tmp:
+            durable = DurableStreamSession(_session(scenario, config), tmp,
+                                           checkpoint_every=0,
+                                           fsync=config["fsync"])
+            durable.start()
+            for batch in scenario.log.batches[:total - tail]:
+                durable.apply(batch)
+            durable.checkpoint()
+            for batch in scenario.log.batches[total - tail:]:
+                durable.apply(batch)
+            durable.wal.close()  # no final checkpoint: simulate a crash
+
+            started = time.perf_counter()
+            recovered = DurableStreamSession.recover(tmp,
+                                                     fsync=config["fsync"])
+            elapsed = time.perf_counter() - started
+            rows.append({
+                "wal_tail_batches": tail,
+                "recover_seconds": round(elapsed, 4),
+                "matches_identical":
+                    recovered.matches == reference_matches,
+            })
+            recovered.close(checkpoint=False)
+    return rows
+
+
+def run_workload(config: Dict) -> Dict:
+    dataset = dblp_like(scale=config["scale"])
+    scenario = synthesize_stream(dataset, batches=config["batches"],
+                                 holdout_fraction=config["holdout"],
+                                 seed=config["seed"])
+    overhead = measure_wal_overhead(scenario, config)
+    checkpoint = measure_checkpoint_cost(scenario, config)
+
+    reference = _session(scenario, config)
+    reference.start()
+    reference.replay(scenario.log)
+    recovery = measure_recovery(scenario, config, reference.matches)
+
+    return {
+        "preset": "dblp",
+        "scale": config["scale"],
+        "entities_base": len(scenario.base.store.entity_ids()),
+        "entities_final": len(dataset.store.entity_ids()),
+        "delta_batches": len(scenario.log),
+        "delta_ops": scenario.log.op_count(),
+        "wal": overhead,
+        "checkpoint": checkpoint,
+        "recovery": recovery,
+    }
+
+
+def run_bench(config_name: str) -> Dict:
+    config = CONFIGS[config_name]
+    return {
+        "bench": "durability",
+        "config": {"name": config_name, **config},
+        "workload": run_workload(config),
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """The CI gate: bounded WAL overhead, byte-identical recovery."""
+    config = report["config"]
+    workload = report["workload"]
+    failures = []
+    if not workload["wal"]["matches_identical"]:
+        failures.append("durable replay matches diverge from in-memory replay")
+    if workload["wal"]["wal_overhead_fraction"] > config["wal_overhead_target"]:
+        failures.append(
+            f"WAL append overhead {workload['wal']['wal_overhead_fraction']} "
+            f"exceeds the {config['wal_overhead_target']} target")
+    for row in workload["recovery"]:
+        if not row["matches_identical"]:
+            failures.append(
+                f"recovery with a {row['wal_tail_batches']}-batch WAL tail "
+                "does not reproduce the reference match set")
+    return failures
+
+
+# -------------------------------------------------------------- entrypoints
+def test_durability_smoke():
+    """Pytest entry point: the smoke config must pass the CI gate."""
+    report = run_bench("smoke")
+    print()
+    print(json.dumps(report, indent=2))
+    assert not check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="default")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorthand for --config smoke")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT}; gate-only runs "
+                             "with --check and no --output write nothing)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless recovery is byte-identical "
+                             "and the WAL overhead target holds")
+    args = parser.parse_args(argv)
+    config = "smoke" if args.smoke else args.config
+
+    report = run_bench(config)
+    print(json.dumps(report, indent=2))
+    # A bare --check run is a gate, not a recording — don't clobber the
+    # committed trajectory file with off-config numbers.
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        atomic_write_json(output, report, indent=2, trailing_newline=True)
+        print(f"\nwrote {output}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from repro.atomicio import atomic_write_json
 from repro.datamodel import COAUTHOR, EntityPair, EntityStore, Relation, make_author
 from repro.mln import (
     GreedyCollectiveInference,
@@ -258,7 +259,7 @@ def main(argv=None) -> int:
     if output is None and not args.check:
         output = DEFAULT_OUTPUT
     if output is not None:
-        output.write_text(json.dumps(report, indent=2) + "\n")
+        atomic_write_json(output, report, indent=2, trailing_newline=True)
         print(f"\nwrote {output}")
 
     if args.check:

@@ -42,6 +42,7 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from repro.atomicio import atomic_write_json
 from repro.blocking import CanopyBlocker, build_total_cover
 from repro.datamodel import CompactStore
 from repro.datasets import dblp_like, hepth_like
@@ -229,7 +230,7 @@ def main(argv=None) -> int:
     if output is None and not args.check:
         output = DEFAULT_OUTPUT
     if output is not None:
-        output.write_text(json.dumps(report, indent=2) + "\n")
+        atomic_write_json(output, report, indent=2, trailing_newline=True)
         print(f"\nwrote {output}")
 
     if args.check:

@@ -1,0 +1,77 @@
+"""Atomic file writes: temp file in the target directory + ``os.replace``.
+
+Every on-disk artifact the library produces (delta traces, datasets,
+checkpoints, benchmark reports, CLI cluster dumps) goes through these
+helpers so a crash mid-write can never leave a half-written file under the
+final name — readers see either the previous complete version or the new
+one.  The temp file lives in the *same directory* as the target so the
+``os.replace`` is a same-filesystem rename (atomic on POSIX and on NTFS).
+
+``fsync=True`` additionally flushes the file contents (and, on POSIX, the
+containing directory entry) to stable storage before returning — the
+durability layer needs that ordering guarantee; casual report writers can
+leave it off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Flush a directory entry to disk (no-op on platforms without dir fds)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except (OSError, NotImplementedError):  # pragma: no cover - platform
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes, fsync: bool = False) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=str(target.parent),
+                                     prefix=f".{target.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(path: PathLike, text: str, fsync: bool = False) -> Path:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(path: PathLike, payload, indent: int = 1,
+                      sort_keys: bool = False, fsync: bool = False,
+                      trailing_newline: bool = False) -> Path:
+    """Serialise ``payload`` as JSON and write it atomically."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    return atomic_write_text(path, text, fsync=fsync)

@@ -7,6 +7,8 @@ A small CLI that exposes the common pipeline without writing any Python::
     repro-em match    --dataset data.json --matcher mln --scheme smp --output clusters.json
     repro-em stream-trace --dataset data.json --base-output base.json --trace-output trace.json
     repro-em stream   --dataset base.json --deltas trace.json --verify
+    repro-em stream   --dataset base.json --deltas trace.json --durable-dir wal/
+    repro-em recover  --durable-dir wal/ --verify
     repro-em info
 
 Every subcommand prints a plain-text report; ``match`` additionally writes the
@@ -143,8 +145,34 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--verify", action="store_true",
                         help="after the replay, cold-match the final "
                              "instance and require byte-identical matches")
+    stream.add_argument("--durable-dir", type=Path, default=None,
+                        help="run the session durably: write-ahead-log every "
+                             "batch to this directory and checkpoint "
+                             "periodically (see the recover subcommand)")
+    stream.add_argument("--checkpoint-every", type=int, default=8,
+                        help="batches between snapshot checkpoints when "
+                             "--durable-dir is given (0 disables periodic "
+                             "checkpoints)")
     stream.add_argument("--output", type=Path, default=None,
                         help="write final resolved clusters to this JSON file")
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="rebuild a durable streaming session after a crash "
+             "(latest checkpoint + WAL tail replay)")
+    recover.add_argument("--durable-dir", type=Path, required=True,
+                         help="directory a durable stream session wrote "
+                              "(WAL + checkpoints)")
+    recover.add_argument("--executor", choices=list(EXECUTOR_KINDS),
+                         default=None,
+                         help="map-phase engine for the replayed batches")
+    recover.add_argument("--workers", type=int, default=None)
+    recover.add_argument("--verify", action="store_true",
+                         help="after recovery, cold-match the recovered "
+                              "instance and require byte-identical matches")
+    recover.add_argument("--output", type=Path, default=None,
+                         help="write recovered resolved clusters to this "
+                              "JSON file")
 
     subparsers.add_parser("info", help="print version and registered similarity functions")
     return parser
@@ -231,10 +259,7 @@ def _command_match(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"{dataset.name}: {args.matcher} under {args.scheme}"))
 
     if args.output is not None:
-        clusters = [sorted(c) for c in closed.clusters() if len(c) > 1]
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(json.dumps(clusters, indent=1))
-        print(f"wrote {len(clusters)} clusters to {args.output}")
+        _write_clusters(result.matches, args.output)
     return 0
 
 
@@ -269,6 +294,8 @@ def _command_stream(args: argparse.Namespace) -> int:
     log = load_delta_log(args.deltas)
     if args.workers is not None and args.executor is None:
         raise SystemExit("--workers requires --executor")
+    if args.checkpoint_every < 0:
+        raise SystemExit("--checkpoint-every must be >= 0")
     store = dataset.store
     if args.store_backend == "compact":
         store = CompactStore.from_store(store)
@@ -278,6 +305,10 @@ def _command_stream(args: argparse.Namespace) -> int:
                             relation_names=["coauthor"],
                             executor=args.executor, workers=args.workers,
                             rebase_threshold=args.rebase_threshold)
+    if args.durable_dir is not None:
+        from .durability import DurableStreamSession
+        session = DurableStreamSession(session, args.durable_dir,
+                                       checkpoint_every=args.checkpoint_every)
     cold = session.start()
     rows = [{
         "batch": "start",
@@ -304,6 +335,10 @@ def _command_stream(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"{dataset.name}: replay of {log.name} "
                                    f"({log.op_count()} ops)"))
 
+    if args.durable_dir is not None:
+        session.close()
+        print(f"durable state (WAL + checkpoints) in {args.durable_dir}")
+
     if args.verify:
         identical = session.verify()
         verdict = "byte-identical" if identical else "MISMATCH"
@@ -311,13 +346,54 @@ def _command_stream(args: argparse.Namespace) -> int:
         if not identical:
             return 1
 
-    if args.output is not None:
-        closed = MatchSet(session.matches).transitive_closure()
-        clusters = [sorted(c) for c in closed.clusters() if len(c) > 1]
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(json.dumps(clusters, indent=1))
-        print(f"wrote {len(clusters)} clusters to {args.output}")
+    _write_clusters(session.matches, args.output)
     return 0
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    import time
+
+    from .durability import DurableStreamSession
+    from .exceptions import RecoveryError
+    if not args.durable_dir.exists():
+        raise SystemExit(f"durable directory not found: {args.durable_dir}")
+    if args.workers is not None and args.executor is None:
+        raise SystemExit("--workers requires --executor")
+    started = time.perf_counter()
+    try:
+        session = DurableStreamSession.recover(args.durable_dir,
+                                               executor=args.executor,
+                                               workers=args.workers)
+    except RecoveryError as error:
+        raise SystemExit(f"recovery failed: {error}")
+    elapsed = time.perf_counter() - started
+    print(format_key_values({
+        "batches_applied": session.batches_applied,
+        "matches": len(session.matches),
+        "recovery_seconds": round(elapsed, 3),
+    }, title=f"recovered session from {args.durable_dir}"))
+
+    if args.verify:
+        identical = session.verify()
+        verdict = "byte-identical" if identical else "MISMATCH"
+        print(f"recovered state vs cold batch run: {verdict}")
+        if not identical:
+            return 1
+
+    _write_clusters(session.matches, args.output)
+    session.close(checkpoint=False)
+    return 0
+
+
+def _write_clusters(matches, output: Optional[Path]) -> None:
+    """Write the resolved clusters of a match set as JSON (atomically)."""
+    if output is None:
+        return
+    from .atomicio import atomic_write_json
+    closed = MatchSet(matches).transitive_closure()
+    clusters = [sorted(c) for c in closed.clusters() if len(c) > 1]
+    atomic_write_json(output, clusters, indent=1)
+    print(f"wrote {len(clusters)} clusters to {output}")
 
 
 def _command_info(_: argparse.Namespace) -> int:
@@ -334,6 +410,7 @@ _COMMANDS = {
     "match": _command_match,
     "stream": _command_stream,
     "stream-trace": _command_stream_trace,
+    "recover": _command_recover,
     "info": _command_info,
 }
 

@@ -191,7 +191,9 @@ class EMFramework:
     # ------------------------------------------------------------- streaming
     def open_stream(self, executor=None, workers: Optional[int] = None,
                     max_rounds: int = 50, rebase_threshold: int = 5000,
-                    fallback_dirty_fraction: float = 0.5):
+                    fallback_dirty_fraction: float = 0.5,
+                    durable_dir=None, checkpoint_every: int = 8,
+                    fsync: bool = True):
         """Open a delta-ingestion session on this framework's instance.
 
         The returned :class:`~repro.streaming.StreamSession` cold-runs the
@@ -202,6 +204,13 @@ class EMFramework:
         to have been constructed from a blocker (not an explicit cover): the
         streaming layer must be able to rebuild the cover as the instance
         mutates.
+
+        With ``durable_dir`` the session is wrapped in a
+        :class:`~repro.durability.DurableStreamSession`: change batches are
+        committed to a write-ahead log before they mutate anything, a
+        checkpoint is published every ``checkpoint_every`` batches, and
+        :meth:`~repro.durability.DurableStreamSession.recover` can rebuild
+        the standing state from that directory after a crash.
         """
         # Imported lazily: repro.streaming imports from repro.parallel.
         from ..streaming import StreamSession
@@ -216,6 +225,14 @@ class EMFramework:
             workers=workers, max_rounds=max_rounds,
             rebase_threshold=rebase_threshold,
             fallback_dirty_fraction=fallback_dirty_fraction)
+        if durable_dir is not None:
+            from ..durability import DurableStreamSession
+            durable = DurableStreamSession(session, durable_dir,
+                                           checkpoint_every=checkpoint_every,
+                                           fsync=fsync)
+            durable.start()
+            self._stream = durable
+            return durable
         session.start()
         self._stream = session
         return session

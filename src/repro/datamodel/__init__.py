@@ -13,6 +13,7 @@ from .relation import (
     Relation,
     coauthor_from_authored,
 )
+from .serialize import store_from_dict, store_to_dict
 from .store import EntityStore, SimilarityEdge
 
 __all__ = [
@@ -40,4 +41,6 @@ __all__ = [
     "make_paper",
     "pairs_from",
     "pairs_involving",
+    "store_from_dict",
+    "store_to_dict",
 ]

@@ -12,7 +12,8 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from ..datamodel import Entity, EntityPair, EntityStore, Relation
+from ..atomicio import atomic_write_json
+from ..datamodel.serialize import store_from_dict, store_to_dict
 from .schema import BibliographicDataset
 
 PathLike = Union[str, Path]
@@ -22,39 +23,14 @@ _FORMAT_VERSION = 1
 
 def dataset_to_dict(dataset: BibliographicDataset) -> Dict:
     """Serialise a dataset to a JSON-compatible dictionary."""
-    store = dataset.store
-    return {
+    payload = {
         "format_version": _FORMAT_VERSION,
         "name": dataset.name,
         "config": dataset.config,
-        "entities": [
-            {
-                "id": entity.entity_id,
-                "type": entity.entity_type,
-                "attributes": dict(entity.attributes),
-            }
-            for entity in sorted(store, key=lambda e: e.entity_id)
-        ],
-        "relations": [
-            {
-                "name": relation.name,
-                "arity": relation.arity,
-                "symmetric": relation.symmetric,
-                "tuples": sorted(list(tup) for tup in relation),
-            }
-            for relation in store.relations()
-        ],
-        "similar": [
-            {
-                "first": edge.pair.first,
-                "second": edge.pair.second,
-                "score": edge.score,
-                "level": edge.level,
-            }
-            for edge in sorted(store.similarity_edges(), key=lambda e: e.pair)
-        ],
-        "labels": dict(sorted(dataset.labels.items())),
     }
+    payload.update(store_to_dict(dataset.store))
+    payload["labels"] = dict(sorted(dataset.labels.items()))
+    return payload
 
 
 def dataset_from_dict(payload: Dict) -> BibliographicDataset:
@@ -62,32 +38,17 @@ def dataset_from_dict(payload: Dict) -> BibliographicDataset:
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported dataset format version: {version!r}")
-    store = EntityStore()
-    for record in payload["entities"]:
-        store.add_entity(Entity(record["id"], record["type"], record["attributes"]))
-    for record in payload["relations"]:
-        relation = Relation(record["name"], record["arity"], record["symmetric"])
-        for tup in record["tuples"]:
-            relation.add(*tup)
-        store.add_relation(relation)
-    for record in payload["similar"]:
-        store.add_similarity(EntityPair.of(record["first"], record["second"]),
-                             record["score"], record["level"])
     return BibliographicDataset(
         name=payload["name"],
-        store=store,
+        store=store_from_dict(payload),
         labels=dict(payload["labels"]),
         config=dict(payload.get("config", {})),
     )
 
 
 def save_dataset(dataset: BibliographicDataset, path: PathLike) -> Path:
-    """Write a dataset to a JSON file; returns the path written."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w", encoding="utf-8") as handle:
-        json.dump(dataset_to_dict(dataset), handle, indent=1, sort_keys=False)
-    return target
+    """Write a dataset to a JSON file atomically; returns the path written."""
+    return atomic_write_json(path, dataset_to_dict(dataset), indent=1)
 
 
 def load_dataset(path: PathLike) -> BibliographicDataset:

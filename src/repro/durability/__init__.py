@@ -1,0 +1,46 @@
+"""Durability layer: write-ahead delta log, checkpoints, crash recovery.
+
+A :class:`DurableStreamSession` wraps the in-memory
+:class:`~repro.streaming.StreamSession` so the standing match set survives
+process death: every change batch is appended to an append-only,
+checksummed :class:`DeltaWAL` *before* it mutates anything, periodic
+:class:`CheckpointManager` snapshots capture the rebased instance plus the
+standing results and pair provenance atomically, and
+:meth:`DurableStreamSession.recover` rebuilds the session from the latest
+valid checkpoint plus the committed WAL tail.
+
+Attributes are loaded lazily (PEP 562): :mod:`repro.streaming` imports the
+dependency-free :mod:`~repro.durability.crashpoints` submodule from here, so
+the package initialiser must not import the streaming-dependent modules
+eagerly.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "DeltaWAL": "wal",
+    "CheckpointManager": "checkpoint",
+    "DurableStreamSession": "session",
+    "WAL_FILENAME": "session",
+    "CRASH_POINTS": "crashpoints",
+    "crash_point": "crashpoints",
+    "install_crash_hook": "crashpoints",
+    "uninstall_crash_hook": "crashpoints",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

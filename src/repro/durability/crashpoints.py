@@ -1,0 +1,64 @@
+"""Named crash points: fault-injection seams of the durability layer.
+
+Every place where process death has a distinct observable effect on the
+on-disk state carries a named :func:`crash_point` call — before/inside/after
+a WAL append, around each step of the checkpoint dance, and around the
+in-memory overlay rebase.  In production the hooks cost one global read and
+a falsy check.  The fault-injection harness (``tests/faultinject.py``)
+installs a hook that raises at a chosen point, simulating a crash exactly
+there; the recovery property tests then assert that ``recover()`` restores a
+session whose subsequent matches are byte-identical to an uninterrupted run,
+for *every* registered point.
+
+This module is intentionally dependency-free (stdlib only) so any layer can
+import it without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+#: Every registered crash point, in rough execution order.  The fault
+#: matrix tests iterate this tuple — adding a seam here automatically puts
+#: it under test.
+CRASH_POINTS: Tuple[str, ...] = (
+    # -- WAL append (commit point of a change batch) ----------------------
+    "wal.append.before",       # nothing written yet
+    "wal.append.torn",         # header + partial payload written (torn record)
+    "wal.append.unsynced",     # full record written, not yet fsynced
+    "wal.append.committed",    # record durable, in-memory apply not started
+    # -- checkpoint (snapshot + WAL truncation) ---------------------------
+    "checkpoint.begin",        # before the temp snapshot file is created
+    "checkpoint.temp_written", # temp file complete + fsynced, not yet published
+    "checkpoint.published",    # os.replace done, WAL tail not yet truncated
+    "checkpoint.committed",    # checkpoint + truncation fully done
+    # -- overlay rebase (in-memory; durability must not depend on it) -----
+    "rebase.before",
+    "rebase.after",
+)
+
+_CRASH_POINT_SET = frozenset(CRASH_POINTS)
+
+CrashHook = Callable[[str], None]
+
+_hook: Optional[CrashHook] = None
+
+
+def install_crash_hook(hook: CrashHook) -> None:
+    """Install the process-wide crash hook (testing only; not thread-safe)."""
+    global _hook
+    _hook = hook
+
+
+def uninstall_crash_hook() -> None:
+    """Remove the process-wide crash hook."""
+    global _hook
+    _hook = None
+
+
+def crash_point(name: str) -> None:
+    """Fire the crash hook (if any) at the named seam."""
+    if name not in _CRASH_POINT_SET:
+        raise ValueError(f"unregistered crash point: {name!r}")
+    if _hook is not None:
+        _hook(name)

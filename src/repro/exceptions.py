@@ -59,3 +59,16 @@ class ExperimentError(ReproError):
 
 class DeltaError(ReproError):
     """Raised by the streaming layer for malformed or inapplicable deltas."""
+
+
+class DurabilityError(ReproError):
+    """Raised by the durability layer for invalid WAL/checkpoint operations."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when crash recovery cannot reconstruct a consistent session.
+
+    Recovery never guesses: a WAL or checkpoint whose damage cannot be
+    proven to be an uncommitted tail (torn final record) fails loudly with
+    this error instead of returning a possibly-wrong match set.
+    """

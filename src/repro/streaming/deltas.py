@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Tuple, Union
 
+from ..atomicio import atomic_write_json
 from ..datamodel import Entity, EntityPair
 from ..exceptions import DeltaError
 
@@ -237,12 +238,8 @@ def log_from_dict(payload: Dict) -> DeltaLog:
 
 
 def save_delta_log(log: DeltaLog, path: PathLike) -> Path:
-    """Write a delta trace to a JSON file; returns the path written."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w", encoding="utf-8") as handle:
-        json.dump(log_to_dict(log), handle, indent=1)
-    return target
+    """Write a delta trace to a JSON file atomically; returns the path written."""
+    return atomic_write_json(path, log_to_dict(log), indent=1)
 
 
 def load_delta_log(path: PathLike) -> DeltaLog:

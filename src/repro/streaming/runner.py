@@ -46,6 +46,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from ..blocking import Blocker, CanopyBlocker, Cover
 from ..datamodel import CompactStore, EntityPair, EntityStore, Evidence
+from ..durability.crashpoints import crash_point
 from ..exceptions import DeltaError
 from ..matchers import TypeIMatcher
 from ..parallel.grid import GridExecutor, GridRunResult
@@ -238,7 +239,9 @@ class StreamSession:
 
         rebased = False
         if self.overlay.delta_size() >= self.rebase_threshold:
+            crash_point("rebase.before")
             self.overlay = StoreOverlay(self.overlay.rebase())
+            crash_point("rebase.after")
             rebased = True
 
         self.batches_applied += 1
@@ -437,6 +440,83 @@ class StreamSession:
         self._round_offset += max(1, result.round_count)
         self._origins = {pair: origin for pair, origin in self._origins.items()
                          if pair in self.matches}
+
+    # ----------------------------------------------------- durable snapshot
+    def standing_state(self) -> Dict:
+        """The standing session state as a JSON-compatible dict.
+
+        Together with the materialised instance (:meth:`final_store`) and
+        the session configuration this is everything a checkpoint needs to
+        rebuild the session without re-running the cold start; the
+        durability layer (:mod:`repro.durability`) snapshots it.
+        """
+        def as_json(pair: EntityPair) -> List[str]:
+            return [pair.first, pair.second]
+
+        return {
+            "batches_applied": self.batches_applied,
+            "round_offset": self._round_offset,
+            "matches": [as_json(pair) for pair in sorted(self.matches)],
+            "evidence": {
+                "positive": [as_json(p) for p in sorted(self.evidence.positive)],
+                "negative": [as_json(p) for p in sorted(self.evidence.negative)],
+            },
+            "results": [
+                {"members": sorted(members),
+                 "pairs": [as_json(p) for p in sorted(pairs)]}
+                for members, pairs in sorted(self._results.items(),
+                                             key=lambda kv: sorted(kv[0]))
+            ],
+            "origins": [
+                {"first": pair.first, "second": pair.second,
+                 "members": sorted(members), "round": round_index}
+                for pair, (members, round_index) in sorted(self._origins.items())
+            ],
+        }
+
+    def restore_standing(self, state: Dict) -> None:
+        """Restore a :meth:`standing_state` snapshot into this (fresh) session.
+
+        The cover is rebuilt cold from the current store — byte-identical to
+        the incrementally-maintained cover the snapshot was taken against
+        (the maintainer contract) — and the standing results/provenance are
+        reinstalled, so the next :meth:`apply` behaves exactly as it would
+        have in the original session.  Neighborhood-store caches are *not*
+        part of the snapshot; they repopulate lazily (performance only).
+        """
+        if self.started:
+            raise DeltaError("cannot restore standing state into a session "
+                             "that already started")
+        self.cover = self.maintainer.build(self._store_view())
+        self.matches = frozenset(EntityPair.of(a, b)
+                                 for a, b in state["matches"])
+        self.evidence = Evidence(
+            frozenset(EntityPair.of(a, b)
+                      for a, b in state["evidence"]["positive"]),
+            frozenset(EntityPair.of(a, b)
+                      for a, b in state["evidence"]["negative"]))
+        self._results = {
+            frozenset(entry["members"]):
+                frozenset(EntityPair.of(a, b) for a, b in entry["pairs"])
+            for entry in state["results"]}
+        self._origins = {
+            EntityPair.of(entry["first"], entry["second"]):
+                (frozenset(entry["members"]), int(entry["round"]))
+            for entry in state["origins"]}
+        self._round_offset = int(state["round_offset"])
+        self.batches_applied = int(state["batches_applied"])
+        self._store_cache = {}
+        self.started = True
+
+    def session_config(self) -> Dict:
+        """The constructor configuration a checkpoint must reproduce."""
+        return {
+            "relation_names": list(self.relation_names),
+            "max_rounds": self._grid.max_rounds,
+            "expansion_rounds": self.maintainer.rounds,
+            "rebase_threshold": self.rebase_threshold,
+            "fallback_dirty_fraction": self.maintainer.fallback_dirty_fraction,
+        }
 
     # -------------------------------------------------------- verification
     def fresh_matcher(self) -> TypeIMatcher:

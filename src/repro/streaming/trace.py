@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..datamodel import Entity, EntityPair
 from ..datasets import BibliographicDataset
@@ -65,13 +65,24 @@ def synthesize_stream(dataset: BibliographicDataset,
                       holdout_fraction: float = 0.3,
                       seed: int = 7,
                       churn: bool = True,
-                      evidence: bool = False) -> StreamScenario:
-    """Build a deterministic streaming scenario from ``dataset`` (see module docs)."""
+                      evidence: bool = False,
+                      rng: Optional[random.Random] = None) -> StreamScenario:
+    """Build a deterministic streaming scenario from ``dataset`` (see module docs).
+
+    All randomness flows through one explicit ``random.Random`` — the
+    ``rng`` argument when given, else a fresh ``random.Random(seed)`` — and
+    is threaded end-to-end through every helper, so the same (dataset,
+    parameters) always yield the byte-identical delta trace.  Batches that
+    end up empty (more requested batches than held-out work) are skipped
+    rather than emitted, so saved traces replay cleanly through the
+    write-ahead log without no-op commit records.
+    """
     if batches < 1:
         raise ValueError("batches must be >= 1")
     if not 0.0 < holdout_fraction < 1.0:
         raise ValueError("holdout_fraction must be in (0, 1)")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     final_store = dataset.store
 
     all_ids = sorted(final_store.entity_ids())
@@ -206,6 +217,7 @@ def synthesize_stream(dataset: BibliographicDataset,
         for op in scheduled.pop(batch_index, []):
             batch.append(op)
 
-        log.append(batch)
+        if not batch.is_empty():
+            log.append(batch)
 
     return StreamScenario(base=base, log=log, final=dataset)

@@ -1,0 +1,87 @@
+"""Fault-injection harness for the durability layer.
+
+The durability code is laced with named :func:`repro.durability.crash_point`
+seams (see :data:`repro.durability.CRASH_POINTS`): every WAL append step,
+every step of the checkpoint publish dance, and the overlay rebase
+boundary.  This harness installs a process-wide hook that raises
+:class:`SimulatedCrash` at a chosen seam, simulating the process dying
+exactly there with whatever half-state is already on disk — a torn WAL
+record, a published-but-untruncated checkpoint, and so on.
+
+Usage::
+
+    with crash_at("wal.append.torn") as crash:
+        try:
+            durable.replay(log)          # dies mid-append of some batch
+        except SimulatedCrash:
+            pass
+    assert crash.fired                   # the seam was actually reached
+    recovered = DurableStreamSession.recover(directory)
+
+``crash_at(name, skip=n)`` lets the first ``n`` hits of the seam pass so a
+crash can be planted in a *later* batch or checkpoint.  The context manager
+always uninstalls the hook, so recovery (and reference runs) execute
+crash-free.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.durability import CRASH_POINTS, install_crash_hook, uninstall_crash_hook
+
+
+class SimulatedCrash(Exception):
+    """Raised by the injected hook to simulate process death at a seam."""
+
+    def __init__(self, point: str):
+        super().__init__(f"simulated crash at {point}")
+        self.point = point
+
+
+class CrashPlan:
+    """Mutable record of one injection: how often the seam fired."""
+
+    def __init__(self, point: str, skip: int):
+        self.point = point
+        self.skip = skip
+        self.hits = 0
+
+    @property
+    def fired(self) -> bool:
+        return self.hits > self.skip
+
+    def __call__(self, point: str) -> None:
+        if point != self.point:
+            return
+        self.hits += 1
+        if self.hits > self.skip:
+            raise SimulatedCrash(point)
+
+
+@contextmanager
+def crash_at(point: str, skip: int = 0):
+    """Install a hook that raises :class:`SimulatedCrash` at ``point``.
+
+    The first ``skip`` hits of the seam are let through.  Yields the
+    :class:`CrashPlan` so the caller can assert the seam was reached.
+    """
+    if point not in CRASH_POINTS:
+        raise ValueError(f"unknown crash point: {point!r}")
+    plan = CrashPlan(point, skip)
+    install_crash_hook(plan)
+    try:
+        yield plan
+    finally:
+        uninstall_crash_hook()
+
+
+@contextmanager
+def record_crash_points():
+    """Install a hook that records (without raising) every seam hit."""
+    hits = []
+    install_crash_hook(hits.append)
+    try:
+        yield hits
+    finally:
+        uninstall_crash_hook()
