@@ -1,0 +1,288 @@
+"""Bench: fault-tolerance tax — supervision overhead and recovery cost.
+
+PR 7 added the resilience layer (:mod:`repro.parallel.resilience`): a
+:class:`~repro.parallel.ResilientExecutor` that upgrades the grid's map
+phase into a supervised round with per-task deadlines, bounded retries,
+speculative re-execution of stragglers, and worker-pool recovery.  This
+bench quantifies what the supervision costs when nothing goes wrong, and
+what recovery costs when things do, on the bundled dblp grid workload:
+
+* **clean-run overhead** — wall-clock of the identical grid run through a
+  thread pool, plain vs wrapped in a :class:`ResilientExecutor`; the gate
+  is an overhead at or below target (≤ 5% on the default config — the
+  supervisor must be nearly free when no fault fires);
+* **10% failure recovery** — a deterministic 10% of the cover's
+  neighborhoods fail their first attempt (injected through the test-suite
+  :class:`~tests.faultinject.FaultyExecutor`); the gate is a completed run
+  whose match set is byte-identical to the uninjected serial reference;
+* **pool-death recovery** — one task kills the worker pool mid-round; the
+  gate is at least one recorded pool rebuild and, again, byte-identical
+  matches.
+
+Run standalone (this is what the CI perf-smoke step does)::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py --smoke --check
+
+or through pytest together with the other benches::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q -s bench_fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.atomicio import atomic_write_json
+from repro.blocking import CanopyBlocker, build_total_cover
+from repro.datasets import dblp_like
+from repro.matchers import MLNMatcher
+from repro.parallel import (
+    FaultPolicy,
+    GridExecutor,
+    ResilientExecutor,
+    RoundReport,
+    ThreadedExecutor,
+)
+
+# The FaultyExecutor proxy lives with the test suite on purpose — it is a
+# test double, not product code (same reuse as bench_ablation_chains.py).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.faultinject import FaultSpec, FaultyExecutor  # noqa: E402
+
+#: Named workload sizes.  ``smoke`` is the CI gate (seconds); ``default`` is
+#: the recorded trajectory point on the dblp default config.  The smoke
+#: overhead target is looser: on a sub-second run the supervisor's fixed
+#: per-round cost is a larger fraction of a smaller denominator.
+CONFIGS: Dict[str, Dict] = {
+    "smoke": {"scale": 0.25, "workers": 4, "repeats": 2, "seed": 7,
+              "failure_fraction": 0.10, "overhead_target": 0.25},
+    "default": {"scale": 1.0, "workers": 4, "repeats": 3, "seed": 7,
+                "failure_fraction": 0.10, "overhead_target": 0.05},
+}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_faults.json"
+
+SCHEME = "smp"
+RELATIONS = ["coauthor"]
+
+#: Retry timing for the injected-fault scenarios: near-zero backoff so the
+#: bench measures recovery machinery, not configured sleeps.
+FAST_BACKOFF = dict(backoff_base=0.001, backoff_max=0.01)
+
+
+def _timed_run(grid: GridExecutor, store, cover):
+    """One grid run with a fresh matcher (no warm ground-network caches)."""
+    started = time.perf_counter()
+    result = grid.run(MLNMatcher(), store, cover)
+    return time.perf_counter() - started, result
+
+
+def measure_clean_overhead(dataset, cover, config: Dict) -> Dict:
+    """Identical thread-pool grid runs, with and without supervision."""
+    timings: Dict[str, List[float]] = {"plain": [], "supervised": []}
+    matches: Dict[str, object] = {}
+    for _ in range(config["repeats"]):
+        with ThreadedExecutor(workers=config["workers"]) as executor:
+            seconds, result = _timed_run(
+                GridExecutor(scheme=SCHEME, executor=executor),
+                dataset.store, cover)
+            timings["plain"].append(seconds)
+            matches["plain"] = result.matches
+        with ThreadedExecutor(workers=config["workers"]) as executor:
+            seconds, result = _timed_run(
+                GridExecutor(scheme=SCHEME, executor=executor,
+                             fault_policy=FaultPolicy()),
+                dataset.store, cover)
+            timings["supervised"].append(seconds)
+            matches["supervised"] = result.matches
+            supervised_label = result.executor
+    # min-of-repeats: the least-noisy estimate of the true cost of each mode.
+    plain = min(timings["plain"])
+    supervised = min(timings["supervised"])
+    overhead = supervised / plain - 1.0 if plain > 0 else 0.0
+    return {
+        "workers": config["workers"],
+        "repeats": config["repeats"],
+        "plain_seconds": round(plain, 4),
+        "supervised_seconds": round(supervised, 4),
+        "overhead_fraction": round(overhead, 4),
+        "supervised_executor": supervised_label,
+        "matches_identical": matches["plain"] == matches["supervised"],
+    }
+
+
+def _supervised_faulty_run(dataset, cover, config: Dict, schedule: Dict,
+                           policy: FaultPolicy):
+    """One supervised grid run with faults injected per ``schedule``."""
+    inner = FaultyExecutor(ThreadedExecutor(workers=config["workers"]),
+                           schedule)
+    with inner:
+        resilient = ResilientExecutor(inner, policy)
+        seconds, result = _timed_run(
+            GridExecutor(scheme=SCHEME, executor=resilient),
+            dataset.store, cover)
+    return seconds, result
+
+
+def measure_failure_recovery(dataset, cover, config: Dict,
+                             reference_matches) -> Dict:
+    """A seeded 10% of neighborhoods fail once; the round must still commit."""
+    names = cover.names()
+    count = max(1, round(config["failure_fraction"] * len(names)))
+    faulted = sorted(random.Random(config["seed"]).sample(names, count))
+    schedule = {name: FaultSpec("fail", times=1) for name in faulted}
+
+    seconds, result = _supervised_faulty_run(
+        dataset, cover, config, schedule,
+        FaultPolicy(retries=2, **FAST_BACKOFF))
+    report = RoundReport.aggregate(result.round_reports)
+    return {
+        "neighborhoods": len(names),
+        "faulted_tasks": len(faulted),
+        "failure_fraction": round(len(faulted) / len(names), 4),
+        "wall_clock_seconds": round(seconds, 4),
+        "retries": report.retries,
+        "failures_observed": report.failures,
+        "matches_identical": result.matches == reference_matches,
+    }
+
+
+def measure_pool_death_recovery(dataset, cover, config: Dict,
+                                reference_matches) -> Dict:
+    """One task kills the pool mid-round; the supervisor must rebuild it."""
+    victim = cover.names()[0]
+    schedule = {victim: FaultSpec("pool-death", times=1)}
+
+    seconds, result = _supervised_faulty_run(
+        dataset, cover, config, schedule,
+        FaultPolicy(retries=2, max_pool_rebuilds=3, **FAST_BACKOFF))
+    report = RoundReport.aggregate(result.round_reports)
+    return {
+        "victim_task": victim,
+        "wall_clock_seconds": round(seconds, 4),
+        "pool_rebuilds": report.pool_rebuilds,
+        "matches_identical": result.matches == reference_matches,
+    }
+
+
+def run_workload(config: Dict) -> Dict:
+    dataset = dblp_like(scale=config["scale"])
+    cover = build_total_cover(CanopyBlocker(), dataset.store,
+                              relation_names=RELATIONS)
+
+    # The correctness yardstick: an uninjected serial run.
+    reference = GridExecutor(scheme=SCHEME).run(
+        MLNMatcher(), dataset.store, cover)
+
+    overhead = measure_clean_overhead(dataset, cover, config)
+    recovery = measure_failure_recovery(dataset, cover, config,
+                                        reference.matches)
+    pool_death = measure_pool_death_recovery(dataset, cover, config,
+                                             reference.matches)
+    return {
+        "preset": "dblp",
+        "scale": config["scale"],
+        "entities": len(dataset.store.entity_ids()),
+        "neighborhoods": len(cover),
+        "reference_matches": len(reference.matches),
+        "clean_overhead": overhead,
+        "failure_recovery": recovery,
+        "pool_death_recovery": pool_death,
+    }
+
+
+def run_bench(config_name: str) -> Dict:
+    config = CONFIGS[config_name]
+    return {
+        "bench": "fault_tolerance",
+        "config": {"name": config_name, **config},
+        "workload": run_workload(config),
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """The CI gate: bounded clean overhead, byte-identical recovery."""
+    config = report["config"]
+    workload = report["workload"]
+    failures = []
+
+    overhead = workload["clean_overhead"]
+    if not overhead["matches_identical"]:
+        failures.append("supervised clean run diverges from the plain run")
+    if overhead["overhead_fraction"] > config["overhead_target"]:
+        failures.append(
+            f"clean-run supervision overhead {overhead['overhead_fraction']} "
+            f"exceeds the {config['overhead_target']} target")
+    if not overhead["supervised_executor"].startswith("resilient+"):
+        failures.append("supervised run did not go through ResilientExecutor")
+
+    recovery = workload["failure_recovery"]
+    if not recovery["matches_identical"]:
+        failures.append(
+            f"{recovery['faulted_tasks']}-task failure schedule does not "
+            "reproduce the reference match set")
+    if recovery["retries"] < recovery["faulted_tasks"]:
+        failures.append(
+            f"only {recovery['retries']} retries recorded for "
+            f"{recovery['faulted_tasks']} injected failures")
+
+    pool_death = workload["pool_death_recovery"]
+    if not pool_death["matches_identical"]:
+        failures.append(
+            "pool-death schedule does not reproduce the reference match set")
+    if pool_death["pool_rebuilds"] < 1:
+        failures.append("pool-death schedule recorded no pool rebuild")
+    return failures
+
+
+# -------------------------------------------------------------- entrypoints
+def test_fault_tolerance_smoke():
+    """Pytest entry point: the smoke config must pass the CI gate."""
+    report = run_bench("smoke")
+    print()
+    print(json.dumps(report, indent=2))
+    assert not check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="default")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorthand for --config smoke")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT}; gate-only runs "
+                             "with --check and no --output write nothing)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless recovery is byte-identical "
+                             "and the overhead target holds")
+    args = parser.parse_args(argv)
+    config = "smoke" if args.smoke else args.config
+
+    report = run_bench(config)
+    print(json.dumps(report, indent=2))
+    # A bare --check run is a gate, not a recording — don't clobber the
+    # committed trajectory file with off-config numbers.
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        atomic_write_json(output, report, indent=2, trailing_newline=True)
+        print(f"\nwrote {output}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

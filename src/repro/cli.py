@@ -38,6 +38,7 @@ from .datasets import (
     save_dataset,
 )
 from .evaluation import evaluate_cover, format_key_values, format_table, precision_recall_f1
+from .exceptions import DurabilityError, RecoveryError, TaskFailedError
 from .matchers import MLNMatcher, PairwiseMatcher, RulesMatcher
 from .parallel import EXECUTOR_KINDS
 from .similarity import available as available_similarities
@@ -53,6 +54,46 @@ _MATCHERS = {
     "rules": RulesMatcher,
     "pairwise": PairwiseMatcher,
 }
+
+#: Exit codes of the typed failures the CLI turns into one-line messages.
+EXIT_TASK_FAILED = 4
+EXIT_RECOVERY_FAILED = 5
+EXIT_DURABILITY_ERROR = 6
+
+
+def _add_fault_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by the grid-running subcommands."""
+    subparser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon and retry any grid task running longer than this "
+             "(fault-tolerant supervision; default: no deadline)")
+    subparser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a failed grid task up to N times with exponential "
+             "backoff before degrading it to an inline run (enables "
+             "fault-tolerant supervision; default policy retries 2)")
+    subparser.add_argument(
+        "--speculate", action="store_true",
+        help="launch speculative duplicates of straggler grid tasks "
+             "(first result wins; match sets are unchanged)")
+
+
+def _fault_policy(args: argparse.Namespace):
+    """Build a FaultPolicy from the CLI flags, or None when none were given."""
+    if args.task_timeout is None and args.retries is None \
+            and not args.speculate:
+        return None
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        raise SystemExit("--task-timeout must be positive")
+    if args.retries is not None and args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    from .parallel import FaultPolicy
+    kwargs = {"speculate": args.speculate}
+    if args.task_timeout is not None:
+        kwargs["task_timeout"] = args.task_timeout
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
+    return FaultPolicy(**kwargs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -105,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "neighborhood views (match sets are identical)")
     match.add_argument("--output", type=Path, default=None,
                        help="write resolved clusters to this JSON file")
+    _add_fault_arguments(match)
 
     trace = subparsers.add_parser(
         "stream-trace",
@@ -153,8 +195,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="batches between snapshot checkpoints when "
                              "--durable-dir is given (0 disables periodic "
                              "checkpoints)")
+    stream.add_argument("--checkpoint-on-signal", action="store_true",
+                        help="with --durable-dir: on SIGTERM/SIGINT finish "
+                             "the in-flight batch, write a final checkpoint "
+                             "and exit cleanly")
     stream.add_argument("--output", type=Path, default=None,
                         help="write final resolved clusters to this JSON file")
+    _add_fault_arguments(stream)
 
     recover = subparsers.add_parser(
         "recover",
@@ -173,6 +220,7 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--output", type=Path, default=None,
                          help="write recovered resolved clusters to this "
                               "JSON file")
+    _add_fault_arguments(recover)
 
     subparsers.add_parser("info", help="print version and registered similarity functions")
     return parser
@@ -235,12 +283,17 @@ def _command_match(args: argparse.Namespace) -> int:
             raise SystemExit("--workers requires --executor")
         if args.workers < 1:
             raise SystemExit("--workers must be >= 1")
+    fault_policy = _fault_policy(args)
+    if fault_policy is not None and args.executor is None:
+        raise SystemExit("--task-timeout/--retries/--speculate supervise the "
+                         "grid executor; they require --executor")
     if args.executor is not None:
         if args.scheme == "full":
             raise SystemExit("--executor runs the round-based grid; "
                              "it does not apply to --scheme full")
         result = framework.run_grid(args.scheme, executor=args.executor,
-                                    workers=args.workers).to_scheme_result()
+                                    workers=args.workers,
+                                    fault_policy=fault_policy).to_scheme_result()
     else:
         result = framework.run(args.scheme)
 
@@ -288,14 +341,16 @@ def _command_stream_trace(args: argparse.Namespace) -> int:
 
 def _command_stream(args: argparse.Namespace) -> int:
     from .streaming import StreamSession, load_delta_log
-    dataset = _load(args.dataset)
-    if not args.deltas.exists():
-        raise SystemExit(f"delta trace file not found: {args.deltas}")
-    log = load_delta_log(args.deltas)
     if args.workers is not None and args.executor is None:
         raise SystemExit("--workers requires --executor")
     if args.checkpoint_every < 0:
         raise SystemExit("--checkpoint-every must be >= 0")
+    if args.checkpoint_on_signal and args.durable_dir is None:
+        raise SystemExit("--checkpoint-on-signal requires --durable-dir")
+    dataset = _load(args.dataset)
+    if not args.deltas.exists():
+        raise SystemExit(f"delta trace file not found: {args.deltas}")
+    log = load_delta_log(args.deltas)
     store = dataset.store
     if args.store_backend == "compact":
         store = CompactStore.from_store(store)
@@ -304,11 +359,14 @@ def _command_stream(args: argparse.Namespace) -> int:
                             blocker=CanopyBlocker(),
                             relation_names=["coauthor"],
                             executor=args.executor, workers=args.workers,
-                            rebase_threshold=args.rebase_threshold)
+                            rebase_threshold=args.rebase_threshold,
+                            fault_policy=_fault_policy(args))
     if args.durable_dir is not None:
         from .durability import DurableStreamSession
-        session = DurableStreamSession(session, args.durable_dir,
-                                       checkpoint_every=args.checkpoint_every)
+        session = DurableStreamSession(
+            session, args.durable_dir,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_on_signal=args.checkpoint_on_signal)
     cold = session.start()
     rows = [{
         "batch": "start",
@@ -354,18 +412,15 @@ def _command_recover(args: argparse.Namespace) -> int:
     import time
 
     from .durability import DurableStreamSession
-    from .exceptions import RecoveryError
     if not args.durable_dir.exists():
         raise SystemExit(f"durable directory not found: {args.durable_dir}")
     if args.workers is not None and args.executor is None:
         raise SystemExit("--workers requires --executor")
     started = time.perf_counter()
-    try:
-        session = DurableStreamSession.recover(args.durable_dir,
-                                               executor=args.executor,
-                                               workers=args.workers)
-    except RecoveryError as error:
-        raise SystemExit(f"recovery failed: {error}")
+    session = DurableStreamSession.recover(args.durable_dir,
+                                           executor=args.executor,
+                                           workers=args.workers,
+                                           fault_policy=_fault_policy(args))
     elapsed = time.perf_counter() - started
     print(format_key_values({
         "batches_applied": session.batches_applied,
@@ -416,10 +471,27 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    The library's typed operational failures become one-line stderr messages
+    with distinct exit codes instead of tracebacks: a grid task that
+    exhausted its fault-tolerance budget exits ``4``, a failed crash
+    recovery exits ``5``, any other durability violation exits ``6``.
+    Programming errors still traceback — those are bugs, not conditions.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except TaskFailedError as error:
+        print(f"repro-em: task failed permanently: {error}", file=sys.stderr)
+        return EXIT_TASK_FAILED
+    except RecoveryError as error:
+        print(f"repro-em: recovery failed: {error}", file=sys.stderr)
+        return EXIT_RECOVERY_FAILED
+    except DurabilityError as error:
+        print(f"repro-em: durability error: {error}", file=sys.stderr)
+        return EXIT_DURABILITY_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -52,7 +52,8 @@ class EMFramework:
                  relation_names: Optional[Iterable[str]] = None,
                  blocking_executor=None,
                  blocking_workers: Optional[int] = None,
-                 store_backend: str = "dict"):
+                 store_backend: str = "dict",
+                 fault_policy=None):
         normalized_backend = store_backend.lower()
         if normalized_backend not in STORE_BACKENDS:
             raise ExperimentError(
@@ -94,6 +95,10 @@ class EMFramework:
             self._blocker = chosen_blocker
             self._relation_names = list(relation_names)
         self.cover.validate_covering(store)
+        #: Default :class:`~repro.parallel.resilience.FaultPolicy` for every
+        #: grid/stream run of this framework (``None`` keeps the plain
+        #: all-or-nothing executor contract).
+        self.fault_policy = fault_policy
         self._runner: Optional[NeighborhoodRunner] = None
         self._stream = None
 
@@ -148,7 +153,7 @@ class EMFramework:
 
     def run_grid(self, scheme: str = "smp", executor=None,
                  workers: Optional[int] = None, max_rounds: int = 50,
-                 compute_messages_once: bool = True):
+                 compute_messages_once: bool = True, fault_policy=None):
         """Run a scheme on the round-based grid executor (Section 6.3).
 
         ``executor`` picks the map-phase engine: an
@@ -157,13 +162,17 @@ class EMFramework:
         serial.  Whatever the executor, the returned
         :class:`~repro.parallel.grid.GridRunResult` carries the same match
         set as the corresponding sequential scheme; ``workers`` sizes the
-        pool when ``executor`` is a spec string.
+        pool when ``executor`` is a spec string.  ``fault_policy`` (defaults
+        to the framework-wide policy) supervises the rounds — see
+        :mod:`repro.parallel.resilience`.
         """
         # Imported lazily: repro.parallel itself imports from repro.core.
         from ..parallel.grid import GridExecutor
         grid = GridExecutor(scheme=scheme, max_rounds=max_rounds,
                             compute_messages_once=compute_messages_once,
-                            executor=executor, workers=workers)
+                            executor=executor, workers=workers,
+                            fault_policy=fault_policy if fault_policy is not None
+                            else self.fault_policy)
         return grid.run(self.matcher, self.store, self.cover)
 
     def run(self, scheme: str, **kwargs) -> SchemeResult:
@@ -193,7 +202,8 @@ class EMFramework:
                     max_rounds: int = 50, rebase_threshold: int = 5000,
                     fallback_dirty_fraction: float = 0.5,
                     durable_dir=None, checkpoint_every: int = 8,
-                    fsync: bool = True):
+                    fsync: bool = True, fault_policy=None,
+                    checkpoint_on_signal: bool = False):
         """Open a delta-ingestion session on this framework's instance.
 
         The returned :class:`~repro.streaming.StreamSession` cold-runs the
@@ -211,6 +221,13 @@ class EMFramework:
         checkpoint is published every ``checkpoint_every`` batches, and
         :meth:`~repro.durability.DurableStreamSession.recover` can rebuild
         the standing state from that directory after a crash.
+
+        ``fault_policy`` (defaults to the framework-wide policy) supervises
+        every grid round the session runs — a lost worker mid-delta-batch is
+        retried/degraded instead of aborting the batch, composing with the
+        WAL-ahead contract.  ``checkpoint_on_signal=True`` (durable sessions
+        only) installs SIGTERM/SIGINT handlers that finish the in-flight
+        batch, write a final checkpoint, and exit cleanly.
         """
         # Imported lazily: repro.streaming imports from repro.parallel.
         from ..streaming import StreamSession
@@ -219,17 +236,24 @@ class EMFramework:
                 "open_stream requires a blocker-built framework; a framework "
                 "constructed from an explicit cover cannot repair that cover "
                 "as the instance mutates")
+        if checkpoint_on_signal and durable_dir is None:
+            raise ExperimentError(
+                "checkpoint_on_signal requires durable_dir: there is nowhere "
+                "to write the final checkpoint without a durable session")
         session = StreamSession(
             self.matcher, self.store, blocker=self._blocker,
             relation_names=self._relation_names, executor=executor,
             workers=workers, max_rounds=max_rounds,
             rebase_threshold=rebase_threshold,
-            fallback_dirty_fraction=fallback_dirty_fraction)
+            fallback_dirty_fraction=fallback_dirty_fraction,
+            fault_policy=fault_policy if fault_policy is not None
+            else self.fault_policy)
         if durable_dir is not None:
             from ..durability import DurableStreamSession
             durable = DurableStreamSession(session, durable_dir,
                                            checkpoint_every=checkpoint_every,
-                                           fsync=fsync)
+                                           fsync=fsync,
+                                           checkpoint_on_signal=checkpoint_on_signal)
             durable.start()
             self._stream = durable
             return durable

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import base64
 import pickle
+import signal
 import time
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Union
@@ -53,7 +54,8 @@ class DurableStreamSession:
 
     def __init__(self, session: StreamSession, directory: PathLike,
                  checkpoint_every: int = 8, fsync: bool = True,
-                 keep_checkpoints: int = 2, _wal: Optional[DeltaWAL] = None):
+                 keep_checkpoints: int = 2, _wal: Optional[DeltaWAL] = None,
+                 checkpoint_on_signal: bool = False):
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0 "
                              "(0 disables automatic checkpoints)")
@@ -67,6 +69,52 @@ class DurableStreamSession:
         self.checkpoints = CheckpointManager(self.directory,
                                              keep=keep_checkpoints,
                                              fsync=fsync)
+        # Graceful-shutdown machinery (see install_signal_handlers).
+        self._shutdown_requested = False
+        self._applying = False
+        self._previous_handlers: Dict[int, object] = {}
+        if checkpoint_on_signal:
+            self.install_signal_handlers()
+
+    # ----------------------------------------------------- graceful shutdown
+    def install_signal_handlers(self) -> bool:
+        """Install SIGTERM/SIGINT handlers for a clean, checkpointed exit.
+
+        A signal arriving while the session is idle checkpoints immediately
+        and raises ``SystemExit(0)``; one arriving mid-``apply`` only sets a
+        flag — the in-flight batch finishes (and is acknowledged), the final
+        checkpoint is written, and *then* the process exits.  Either way no
+        acknowledged batch is ever lost and recovery starts from the final
+        checkpoint instead of a WAL replay.
+
+        Returns ``False`` (and installs nothing) when not called from the
+        main thread — CPython only delivers signals there.
+        """
+        try:
+            self._previous_handlers = {
+                signal.SIGTERM: signal.signal(signal.SIGTERM, self._on_signal),
+                signal.SIGINT: signal.signal(signal.SIGINT, self._on_signal),
+            }
+        except ValueError:  # not in the main thread
+            self._previous_handlers = {}
+            return False
+        return True
+
+    def uninstall_signal_handlers(self) -> None:
+        """Restore the signal handlers that were replaced (idempotent)."""
+        for signum, handler in self._previous_handlers.items():
+            signal.signal(signum, handler)
+        self._previous_handlers = {}
+
+    def _on_signal(self, signum, frame) -> None:
+        self._shutdown_requested = True
+        if not self._applying:
+            self._graceful_exit()
+
+    def _graceful_exit(self) -> None:
+        self.close(checkpoint=True)
+        self.uninstall_signal_handlers()
+        raise SystemExit(0)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> Optional[BatchResult]:
@@ -84,14 +132,22 @@ class DurableStreamSession:
 
     def apply(self, batch: ChangeBatch) -> BatchResult:
         """Log the batch (the commit point), then apply it in memory."""
-        if not self.session.started:
-            self.start()
-        batch_id = self.session.batches_applied + 1
-        self.wal.append(batch_id, batch)
-        result = self.session.apply(batch)
-        if self.checkpoint_every and \
-                self.session.batches_applied % self.checkpoint_every == 0:
-            self.checkpoint()
+        self._applying = True
+        try:
+            if not self.session.started:
+                self.start()
+            batch_id = self.session.batches_applied + 1
+            self.wal.append(batch_id, batch)
+            result = self.session.apply(batch)
+            if self.checkpoint_every and \
+                    self.session.batches_applied % self.checkpoint_every == 0:
+                self.checkpoint()
+        finally:
+            self._applying = False
+        # A signal that arrived mid-batch deferred to here: the batch is
+        # fully applied and logged, so exit cleanly with a final checkpoint.
+        if self._shutdown_requested:
+            self._graceful_exit()
         return result
 
     def replay(self, batches: Iterable[ChangeBatch]) -> List[BatchResult]:
@@ -103,6 +159,7 @@ class DurableStreamSession:
         if checkpoint and self.session.started:
             self.checkpoint()
         self.wal.close()
+        self.uninstall_signal_handlers()
 
     # ----------------------------------------------------------- checkpoint
     def _checkpoint_payload(self) -> Dict:
@@ -134,8 +191,9 @@ class DurableStreamSession:
     @classmethod
     def recover(cls, directory: PathLike, executor=None,
                 workers: Optional[int] = None, checkpoint_every: int = 8,
-                fsync: bool = True,
-                keep_checkpoints: int = 2) -> "DurableStreamSession":
+                fsync: bool = True, keep_checkpoints: int = 2,
+                fault_policy=None,
+                checkpoint_on_signal: bool = False) -> "DurableStreamSession":
         """Rebuild a durable session from its directory after a crash.
 
         Loads the latest valid checkpoint, reconstructs the session (store,
@@ -171,7 +229,8 @@ class DurableStreamSession:
             max_rounds=config["max_rounds"],
             expansion_rounds=config["expansion_rounds"],
             rebase_threshold=config["rebase_threshold"],
-            fallback_dirty_fraction=config["fallback_dirty_fraction"])
+            fallback_dirty_fraction=config["fallback_dirty_fraction"],
+            fault_policy=fault_policy)
         session.restore_standing(standing)
 
         wal = DeltaWAL.open(directory / WAL_FILENAME, fsync=fsync)
@@ -192,7 +251,7 @@ class DurableStreamSession:
 
         durable = cls(session, directory, checkpoint_every=checkpoint_every,
                       fsync=fsync, keep_checkpoints=keep_checkpoints,
-                      _wal=wal)
+                      _wal=wal, checkpoint_on_signal=checkpoint_on_signal)
         if replayed:
             durable.checkpoint()
         return durable

@@ -57,6 +57,32 @@ class ExperimentError(ReproError):
     """Raised by the evaluation/experiment harness for invalid configurations."""
 
 
+class TaskFailedError(ExperimentError):
+    """Raised when a grid task exhausts its whole fault-tolerance budget.
+
+    The resilient executor (:mod:`repro.parallel.resilience`) only surfaces
+    this after every escape hatch failed: all pool attempts within the retry
+    budget, plus — when degradation is enabled — a final inline re-run on the
+    caller.  ``attempts`` carries the full per-attempt history (outcome,
+    error, duration) so operators can distinguish a poison task from an
+    unlucky environment.
+    """
+
+    def __init__(self, task_name: str, attempts=()):
+        self.task_name = task_name
+        self.attempts = tuple(attempts)
+        last_error = None
+        for record in reversed(self.attempts):
+            last_error = getattr(record, "error", None)
+            if last_error:
+                break
+        message = (f"task {task_name!r} failed after "
+                   f"{len(self.attempts)} attempt(s)")
+        if last_error:
+            message += f"; last error: {last_error}"
+        super().__init__(message)
+
+
 class DeltaError(ReproError):
     """Raised by the streaming layer for malformed or inapplicable deltas."""
 

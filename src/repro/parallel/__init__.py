@@ -18,28 +18,40 @@ from .partitioner import (
     summarize,
     total_work,
 )
+from .resilience import (
+    AttemptRecord,
+    FaultPolicy,
+    ResilientExecutor,
+    RoundReport,
+)
 from .tasks import (
     CompactMapTask,
     MapResult,
     MapTask,
     execute_compact_map_task,
     execute_map_task,
+    validate_map_result,
 )
 
 __all__ = [
     "EXECUTOR_KINDS",
     "AssignmentSummary",
+    "AttemptRecord",
     "CompactMapTask",
     "Executor",
+    "FaultPolicy",
     "GridExecutor",
     "GridRunResult",
     "MapResult",
     "MapTask",
     "ProcessExecutor",
+    "ResilientExecutor",
+    "RoundReport",
     "SerialExecutor",
     "ThreadedExecutor",
     "execute_compact_map_task",
     "execute_map_task",
+    "validate_map_result",
     "lpt_partition",
     "make_executor",
     "makespan",
@@ -47,4 +59,5 @@ __all__ = [
     "skew",
     "summarize",
     "total_work",
+    "validate_map_result",
 ]

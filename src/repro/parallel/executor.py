@@ -28,7 +28,11 @@ call per round), use the executor as a context manager::
 Failure semantics are uniform across executors: the first task failure (in
 completion order) propagates to the caller, all not-yet-started tasks are
 cancelled, and partial results are discarded.  Tasks already running when the
-failure surfaces do complete, but their results are dropped.
+failure surfaces do complete, but their results are dropped.  When that
+all-or-nothing contract is too brittle (lossy workers, stragglers), wrap any
+executor in :class:`repro.parallel.resilience.ResilientExecutor`, which
+supervises tasks individually — retries, deadlines, speculative duplicates,
+pool rebuilds — through the :meth:`Executor.submit_task` seam below.
 """
 
 from __future__ import annotations
@@ -71,6 +75,32 @@ class Executor(abc.ABC):
     def close(self) -> None:
         """Release any backing worker pool (idempotent; no-op by default)."""
 
+    # ----------------------------------------------------------- supervision
+    #: Whether :meth:`submit_task` yields real futures this executor's
+    #: supervisor can watch individually (pool-backed executors only).
+    supports_supervision: ClassVar[bool] = False
+
+    def submit_task(self, name: str,
+                    fn: Callable[[], ResultT]) -> Optional["concurrent.futures.Future"]:
+        """Submit one named task for future-level supervision.
+
+        Returns ``None`` when the executor cannot hand out futures (the
+        serial executor, or a pool-backed executor outside a ``with`` block);
+        supervisors then fall back to running tasks inline.
+        """
+        return None
+
+    def run_inline(self, name: str, fn: Callable[[], ResultT]) -> ResultT:
+        """Run one task on the calling thread (the degraded serial path).
+
+        This bypasses any worker pool entirely — it is the last resort the
+        resilient executor uses for a task whose pool attempts all failed.
+        """
+        return fn()
+
+    def rebuild(self) -> None:
+        """Recreate the backing pool after it broke (no-op without a pool)."""
+
     # --------------------------------------------------------------- sharing
     def share(self, key: str, value) -> bool:
         """Broadcast a round-invariant payload to every execution context.
@@ -112,6 +142,8 @@ class SerialExecutor(Executor):
 class _PoolExecutor(Executor):
     """Shared submit/collect/cancel logic for pool-backed executors."""
 
+    supports_supervision = True
+
     def __init__(self, workers: int):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -122,6 +154,26 @@ class _PoolExecutor(Executor):
     @abc.abstractmethod
     def _make_pool(self) -> concurrent.futures.Executor:
         """Create the backing pool with ``self.workers`` workers."""
+
+    def submit_task(self, name: str,
+                    fn: Callable[[], ResultT]) -> Optional[concurrent.futures.Future]:
+        if self._pool is None:
+            return None
+        return self._pool.submit(fn)
+
+    def rebuild(self) -> None:
+        """Replace a (possibly broken) open pool with a fresh one.
+
+        Futures still queued on the old pool are cancelled; running tasks
+        finish but nobody collects them.  A closed executor stays closed.
+        For :class:`ProcessExecutor` the fresh pool re-ships every recorded
+        broadcast payload through its initializer, so shared snapshots
+        survive pool death.
+        """
+        if self._pool is None:
+            return
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
 
     def map_tasks(self, tasks: Sequence[NamedTask]) -> Dict[str, ResultT]:
         if self._pool is not None:
@@ -179,8 +231,8 @@ class ThreadedExecutor(_PoolExecutor):
 
     kind = "threads"
 
-    def __init__(self, workers: int = 4):
-        super().__init__(workers)
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(workers if workers is not None else (os.cpu_count() or 1))
 
     def _make_pool(self) -> concurrent.futures.Executor:
         return concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
@@ -237,13 +289,19 @@ def make_executor(kind: str, workers: Optional[int] = None) -> Executor:
     """Build an executor from a spec string (``serial``/``threads``/``processes``).
 
     ``workers`` is ignored by the serial executor; the others fall back to
-    their own defaults when it is ``None``.
+    their own defaults (one worker per CPU) when it is ``None``.  A
+    non-positive worker count is a configuration error and raises
+    :class:`~repro.exceptions.ExperimentError` rather than leaking a
+    ``ValueError`` out of the pool constructor.
     """
     normalized = kind.lower()
+    if workers is not None and workers < 1:
+        raise ExperimentError(
+            f"executor workers must be >= 1, got {workers}")
     if normalized == "serial":
         return SerialExecutor()
     if normalized == "threads":
-        return ThreadedExecutor(workers) if workers is not None else ThreadedExecutor()
+        return ThreadedExecutor(workers)
     if normalized == "processes":
         return ProcessExecutor(workers)
     raise ExperimentError(

@@ -48,12 +48,14 @@ from ..exceptions import ExperimentError, MatcherError
 from ..matchers import TypeIIMatcher, TypeIMatcher
 from .executor import Executor, NamedTask, SerialExecutor, make_executor
 from .partitioner import Task, lpt_partition, makespan, random_partition, total_work
+from .resilience import FaultPolicy, ResilientExecutor, RoundReport
 from .tasks import (
     CompactMapTask,
     MapResult,
     MapTask,
     execute_compact_map_task,
     execute_map_task,
+    validate_map_result,
 )
 
 
@@ -77,6 +79,11 @@ class GridRunResult:
     #: Also only filled under ``collect_results=True``; pairs seeded through
     #: ``initial_matches`` keep whatever provenance the caller tracks.
     pair_origins: Dict[EntityPair, Tuple[str, int]] = field(default_factory=dict)
+    #: One supervision report per round, filled only when the run went through
+    #: a :class:`~repro.parallel.resilience.ResilientExecutor` (i.e. a
+    #: ``fault_policy`` was configured): attempts, retries, timeouts,
+    #: speculative launches/wins, degraded tasks, pool rebuilds.
+    round_reports: List[RoundReport] = field(default_factory=list)
 
     @property
     def round_count(self) -> int:
@@ -151,12 +158,23 @@ class GridExecutor:
     executor that is already inside a ``with executor:`` block keeps its pool
     across runs (entry is re-entrant); a pool the caller opened is never
     closed here.
+
+    A ``fault_policy`` (:class:`~repro.parallel.resilience.FaultPolicy`)
+    wraps the chosen executor in a
+    :class:`~repro.parallel.resilience.ResilientExecutor` with a result
+    validator, upgrading rounds from first-failure-aborts to supervised
+    execution (retries, deadlines, speculation, degradation); each round's
+    :class:`~repro.parallel.resilience.RoundReport` is collected into
+    :attr:`GridRunResult.round_reports`.  A caller-supplied resilient
+    executor is used as-is (its own policy wins), gaining the grid's
+    validator only if it has none.
     """
 
     def __init__(self, scheme: str = "smp", max_rounds: int = 50,
                  compute_messages_once: bool = True,
                  executor: Union[Executor, str, None] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 fault_policy: Optional[FaultPolicy] = None):
         normalized = scheme.lower().replace("_", "-")
         if normalized not in ("no-mp", "nomp", "smp", "mmp"):
             raise ExperimentError(f"unknown grid scheme {scheme!r}")
@@ -171,6 +189,12 @@ class GridExecutor:
             self.executor = make_executor(executor, workers)
         else:
             self.executor = executor
+        if isinstance(self.executor, ResilientExecutor):
+            if self.executor.validator is None:
+                self.executor.validator = validate_map_result
+        elif fault_policy is not None:
+            self.executor = ResilientExecutor(
+                self.executor, fault_policy, validator=validate_map_result)
 
     # -------------------------------------------------------------------- run
     def run(self, matcher: TypeIMatcher, store: EntityStore, cover: Cover,
@@ -273,6 +297,8 @@ class GridExecutor:
         last_results: Dict[str, FrozenSet[EntityPair]] = {}
 
         pair_origins: Dict[EntityPair, Tuple[str, int]] = {}
+        round_reports: List[RoundReport] = []
+        pop_report = getattr(self.executor, "pop_report", None)
         try:
             with self.executor:
                 for round_index in range(self.max_rounds):
@@ -319,6 +345,10 @@ class GridExecutor:
                                           negative=negative)
                         tasks.append((name, partial(execute_map_task, payload)))
                     results = self.executor.map_tasks(tasks)
+                    if pop_report is not None:
+                        report = pop_report()
+                        if report is not None:
+                            round_reports.append(report)
 
                     # Reduce phase: merge per-neighborhood results in
                     # sorted-name order (independent of executor completion
@@ -367,6 +397,7 @@ class GridExecutor:
             executor=self.executor.kind,
             neighborhood_results=neighborhood_results,
             pair_origins=pair_origins,
+            round_reports=round_reports,
         )
 
     # ---------------------------------------------------------------- helpers

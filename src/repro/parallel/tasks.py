@@ -100,6 +100,17 @@ class MapResult:
     matcher_calls: int
 
 
+def validate_map_result(name: str, result: object) -> bool:
+    """Sanity-check one map result against the task that produced it.
+
+    Used as the :class:`~repro.parallel.resilience.ResilientExecutor`
+    validator by the grid: a reply that is not a :class:`MapResult`, or one
+    carrying another task's name (a misrouted or corrupted worker reply),
+    must not commit — it is treated as a failed attempt and retried.
+    """
+    return isinstance(result, MapResult) and result.name == name
+
+
 class _TaskRunner:
     """Duck-typed stand-in for :class:`~repro.core.runner.NeighborhoodRunner`.
 

@@ -103,7 +103,8 @@ class StreamSession:
                  max_rounds: int = 50,
                  expansion_rounds: int = 1,
                  rebase_threshold: int = 5000,
-                 fallback_dirty_fraction: float = 0.5):
+                 fallback_dirty_fraction: float = 0.5,
+                 fault_policy=None):
         normalized = scheme.lower().replace("_", "-")
         if normalized != "smp":
             raise DeltaError(
@@ -125,8 +126,14 @@ class StreamSession:
             self.blocker, relation_names=self.relation_names,
             rounds=expansion_rounds,
             fallback_dirty_fraction=fallback_dirty_fraction)
+        # With a fault policy every grid round of the session (cold run and
+        # per-batch re-matching alike) is supervised: a lost worker or a
+        # transiently failing task is retried/degraded instead of aborting
+        # the batch.  :meth:`cold_matches` stays policy-free — verification
+        # uses the plain serial reference on purpose.
         self._grid = GridExecutor(scheme="smp", max_rounds=max_rounds,
-                                  executor=executor, workers=workers)
+                                  executor=executor, workers=workers,
+                                  fault_policy=fault_policy)
         #: A pristine copy of the matcher (pickling drops its caches) used by
         #: :meth:`cold_matches` so verification never sees warm state.
         self._matcher_blueprint = pickle.dumps(matcher)

@@ -1,4 +1,14 @@
-"""Fault-injection harness for the durability layer.
+"""Fault-injection harness for the durability and resilience layers.
+
+Two families of faults live here:
+
+* **Crash points** (:func:`crash_at`) — process death at named seams inside
+  the durability code, exercised by ``tests/test_durability_crash.py``.
+* **Task faults** (:class:`FaultyExecutor`) — per-task compute failures for
+  the resilience layer: an executor proxy that wraps any real executor and
+  injects fail-once/fail-N, hangs, wrong-result-then-correct, simulated and
+  *real* pool death into chosen tasks, deterministically by task name and
+  attempt number.  Exercised by ``tests/test_resilience.py``.
 
 The durability code is laced with named :func:`repro.durability.crash_point`
 seams (see :data:`repro.durability.CRASH_POINTS`): every WAL append step,
@@ -26,9 +36,17 @@ crash-free.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, Optional
 
 from repro.durability import CRASH_POINTS, install_crash_hook, uninstall_crash_hook
+from repro.parallel.executor import Executor
 
 
 class SimulatedCrash(Exception):
@@ -85,3 +103,144 @@ def record_crash_points():
         yield hits
     finally:
         uninstall_crash_hook()
+
+
+# --------------------------------------------------------------------------
+# Task-fault injection for the resilience layer
+# --------------------------------------------------------------------------
+
+#: Fault kinds understood by :class:`FaultSpec`.
+FAULT_KINDS = ("fail", "hang", "wrong-result", "pool-death", "worker-exit")
+
+
+class FaultInjected(Exception):
+    """The transient failure raised into faulted task attempts (picklable)."""
+
+    def __init__(self, name: str, attempt: int):
+        super().__init__(f"injected fault in task {name!r} (attempt {attempt})")
+        self.name = name
+        self.attempt = attempt
+
+    def __reduce__(self):  # exceptions with extra ctor args need help pickling
+        return (FaultInjected, (self.name, self.attempt))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What goes wrong with one task, and for how many attempts (picklable).
+
+    * ``fail`` — raise :class:`FaultInjected`;
+    * ``hang`` — sleep ``delay`` seconds *then* compute the correct result
+      (a straggler / deadline-buster; correctness is unaffected if a late
+      result ever slipped through — which the supervisor must prevent);
+    * ``wrong-result`` — compute the result, then corrupt it (a
+      misrouted/garbled worker reply the validator must reject);
+    * ``pool-death`` — raise ``BrokenProcessPool`` (simulated pool loss,
+      works under any pool executor);
+    * ``worker-exit`` — ``os._exit(3)`` in the worker: *real* pool death.
+      Only meaningful under a process pool — never inject into threads.
+
+    The fault hits the task's first ``times`` attempts; later attempts run
+    clean.  Attempts are counted by the :class:`FaultyExecutor` in the
+    parent at wrap time, so the behaviour is deterministic per (task,
+    attempt) even across worker processes.
+    """
+
+    kind: str
+    times: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+
+def _corrupt(result: object) -> object:
+    """Make a result the grid's validator must reject."""
+    if dataclasses.is_dataclass(result) and hasattr(result, "name"):
+        return dataclasses.replace(result, name=str(result.name) + "!corrupt")
+    return ("corrupted", result)
+
+
+def _faulted_call(kind: Optional[str], name: str, attempt: int, delay: float,
+                  fn: Callable[[], object]) -> object:
+    """Execute one (possibly faulted) attempt.  Module-level: must pickle."""
+    if kind is None:
+        return fn()
+    if kind == "fail":
+        raise FaultInjected(name, attempt)
+    if kind == "hang":
+        time.sleep(delay)
+        return fn()
+    if kind == "wrong-result":
+        return _corrupt(fn())
+    if kind == "pool-death":
+        raise BrokenProcessPool(
+            f"injected pool death in task {name!r} (attempt {attempt})")
+    if kind == "worker-exit":
+        os._exit(3)
+    raise AssertionError(f"unhandled fault kind {kind!r}")
+
+
+class FaultyExecutor(Executor):
+    """Executor proxy injecting per-task faults per a schedule (test double).
+
+    Wraps a real executor and rewrites every task callable — whether it
+    flows through :meth:`map_tasks`, the supervision seam
+    :meth:`submit_task`, or the degraded :meth:`run_inline` path — through
+    :func:`_faulted_call` according to ``schedule`` (task name →
+    :class:`FaultSpec`; the key ``"*"`` faults every task not listed
+    explicitly).  Attempt counting happens here, in the parent, so fault
+    decisions are deterministic regardless of which worker runs the
+    attempt.  ``schedule`` stays mutable on purpose — tests arm faults
+    after a clean cold start by updating it in place.
+    """
+
+    def __init__(self, inner: Executor, schedule: Dict[str, FaultSpec]):
+        self.inner = inner
+        self.schedule = dict(schedule)
+        self.kind = inner.kind
+        self.supports_supervision = inner.supports_supervision
+        #: attempts wrapped so far, per task name (includes clean attempts).
+        self.attempts: Dict[str, int] = {}
+
+    def _wrap(self, name: str, fn: Callable[[], object]) -> Callable[[], object]:
+        attempt = self.attempts.get(name, 0) + 1
+        self.attempts[name] = attempt
+        # "*" faults every task (each one counted separately).
+        spec = self.schedule.get(name, self.schedule.get("*"))
+        kind = spec.kind if spec is not None and attempt <= spec.times else None
+        delay = spec.delay if spec is not None else 0.0
+        return partial(_faulted_call, kind, name, attempt, delay, fn)
+
+    # Everything below forwards to the inner executor with wrapped callables.
+    def map_tasks(self, tasks):
+        return self.inner.map_tasks(
+            [(name, self._wrap(name, fn)) for name, fn in tasks])
+
+    def submit_task(self, name, fn):
+        return self.inner.submit_task(name, self._wrap(name, fn))
+
+    def run_inline(self, name, fn):
+        return self.inner.run_inline(name, self._wrap(name, fn))
+
+    def rebuild(self):
+        self.inner.rebuild()
+
+    def share(self, key, value):
+        return self.inner.share(key, value)
+
+    def unshare(self, key):
+        self.inner.unshare(key)
+
+    def close(self):
+        self.inner.close()
+
+    def __enter__(self):
+        self.inner.__enter__()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.inner.__exit__(*exc_info)

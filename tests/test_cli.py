@@ -100,3 +100,73 @@ class TestMatch:
         with pytest.raises(SystemExit):
             main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
                   "--scheme", "full", "--executor", "serial"])
+
+
+class TestFaultFlags:
+    def test_match_with_fault_flags_runs_supervised(self, dataset_file, capsys):
+        assert main(["match", "--dataset", str(dataset_file),
+                     "--matcher", "rules", "--scheme", "smp",
+                     "--executor", "threads", "--workers", "2",
+                     "--retries", "1", "--task-timeout", "30"]) == 0
+        assert "grid-smp" in capsys.readouterr().out
+
+    def test_fault_flags_require_executor(self, dataset_file):
+        with pytest.raises(SystemExit, match="--executor"):
+            main(["match", "--dataset", str(dataset_file),
+                  "--matcher", "rules", "--scheme", "smp", "--retries", "1"])
+
+    def test_non_positive_task_timeout_rejected(self, dataset_file):
+        with pytest.raises(SystemExit, match="task-timeout"):
+            main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
+                  "--scheme", "smp", "--executor", "threads",
+                  "--task-timeout", "0"])
+
+    def test_negative_retries_rejected(self, dataset_file):
+        with pytest.raises(SystemExit, match="retries"):
+            main(["match", "--dataset", str(dataset_file), "--matcher", "rules",
+                  "--scheme", "smp", "--executor", "threads",
+                  "--retries", "-1"])
+
+    def test_checkpoint_on_signal_requires_durable_dir(self, dataset_file,
+                                                       tmp_path):
+        deltas = tmp_path / "missing-trace.json"
+        with pytest.raises(SystemExit, match="--durable-dir"):
+            main(["stream", "--dataset", str(dataset_file),
+                  "--deltas", str(deltas), "--checkpoint-on-signal"])
+
+
+class TestExitCodes:
+    """Typed operational failures map to one-line messages + distinct codes."""
+
+    def test_recovery_error_exits_5(self, tmp_path, capsys):
+        empty = tmp_path / "durable"
+        empty.mkdir()
+        code = main(["recover", "--durable-dir", str(empty)])
+        assert code == 5
+        captured = capsys.readouterr()
+        assert "repro-em: recovery failed:" in captured.err
+        assert "no checkpoint" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_task_failed_error_exits_4(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.exceptions import TaskFailedError
+
+        def poisoned(_args):
+            raise TaskFailedError("n42", ())
+
+        monkeypatch.setitem(cli._COMMANDS, "info", poisoned)
+        assert main(["info"]) == 4
+        err = capsys.readouterr().err
+        assert "repro-em: task failed permanently:" in err and "n42" in err
+
+    def test_durability_error_exits_6(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.exceptions import DurabilityError
+
+        def corrupted(_args):
+            raise DurabilityError("wal gone sideways")
+
+        monkeypatch.setitem(cli._COMMANDS, "info", corrupted)
+        assert main(["info"]) == 6
+        assert "repro-em: durability error:" in capsys.readouterr().err

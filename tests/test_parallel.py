@@ -229,6 +229,69 @@ class TestLocalExecutors:
         with pytest.raises(ValueError):
             ProcessExecutor(workers=0)
 
+    def test_make_executor_rejects_non_positive_workers(self):
+        # The spec-string entry point raises the library's typed error, not
+        # the pool constructor's ValueError.
+        for workers in (0, -3):
+            for kind in ("threads", "processes"):
+                with pytest.raises(ExperimentError, match="workers"):
+                    make_executor(kind, workers)
+
+    def test_default_workers_derive_from_cpu_count(self):
+        import os
+        expected = os.cpu_count() or 1
+        assert ThreadedExecutor().workers == expected
+        assert ProcessExecutor().workers == expected
+        assert make_executor("threads").workers == expected
+
+    def test_first_failure_discards_partial_results(self):
+        # Tasks that completed before the failure surfaced must not leak out:
+        # the round is all-or-nothing.
+        done = []
+
+        def ok(i):
+            done.append(i)
+            return i
+
+        with ThreadedExecutor(workers=2) as executor:
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.map_tasks([("t0", partial(ok, 0)),
+                                    ("t1", partial(ok, 1)),
+                                    ("boom", _raise_boom)])
+            assert done  # some tasks really did complete...
+            # ...and the pool is still usable for the next round.
+            assert executor.map_tasks([("a", lambda: 1)]) == {"a": 1}
+
+    def test_process_pool_survives_failed_round(self):
+        with ProcessExecutor(workers=2) as executor:
+            pool = executor._pool
+            with pytest.raises(RuntimeError):
+                executor.map_tasks([("x", _raise_boom)])
+            assert executor._pool is pool  # same pool, reused
+            assert executor.map_tasks([("s", partial(_square, 3))]) == {"s": 9}
+
+    def test_nested_context_manager_is_reentrant(self):
+        executor = ThreadedExecutor(workers=2)
+        with executor:
+            pool = executor._pool
+            with executor:  # inner enter must not replace or close the pool
+                assert executor._pool is pool
+            assert executor._pool is pool  # inner exit keeps it open
+        assert executor._pool is None  # outer exit releases it
+
+    def test_serial_executor_stops_at_first_failure_in_submission_order(self):
+        ran = []
+
+        def record(i):
+            ran.append(i)
+            return i
+
+        tasks = [("t0", partial(record, 0)), ("boom", _raise_boom),
+                 ("t2", partial(record, 2))]
+        with pytest.raises(RuntimeError, match="boom"):
+            SerialExecutor().map_tasks(tasks)
+        assert ran == [0]  # nothing after the failing task ran
+
 
 class TestExecutorParity:
     """Acceptance: every executor reproduces the sequential schemes exactly."""
