@@ -1,0 +1,368 @@
+"""Bench: serving under load — read latency, commit throughput, overload.
+
+PR 8 added the serving layer (:mod:`repro.serving`): a resolution service
+over a standing stream session with epoch-snapshot reads, admission
+control, and read-only degradation.  This bench drives the *service layer*
+directly (no sockets — the numbers are scheduling and epoch-indexing cost,
+deterministic enough for a CI gate) on the bundled dblp streaming scenario:
+
+* **baseline reads** — closed-loop reader threads against a quiescent
+  service: p50/p99 latency and aggregate QPS of epoch-pinned resolve
+  calls;
+* **reads while streaming** — the same closed loop while the commit loop
+  applies the full delta stream; the gate checks every batch committed,
+  the final epoch advanced to the last batch, and reads stayed
+  consistent (every response named an epoch that was actually published);
+* **overload schedule** — a deliberately tiny admission gate
+  (``max_inflight=2``, bounded wait queue) plus an artificial per-read
+  service time, hammered by more closed-loop readers than it can carry.
+  The gate checks that load was **shed** (429s happened), that some
+  requests were still **accepted**, and that the p99 latency of accepted
+  requests stayed under the bound implied by the queue depth — bounded
+  latency through shedding is the whole point of admission control.
+
+Run standalone (this is what the CI perf-smoke step does)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --check
+
+or through pytest together with the other benches::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q -s bench_serving.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.atomicio import atomic_write_json
+from repro.blocking import CanopyBlocker
+from repro.datasets import dblp_like
+from repro.exceptions import DeadlineExceededError, ServiceOverloadedError
+from repro.matchers import MLNMatcher
+from repro.serving import MatchService, ServiceConfig
+from repro.streaming import StreamSession, synthesize_stream
+
+#: Named workload sizes.  ``smoke`` is the CI gate (seconds); ``default`` is
+#: the recorded trajectory point on the dblp default config.
+CONFIGS: Dict[str, Dict] = {
+    "smoke": {
+        "scale": 0.25, "batches": 6, "holdout": 0.2, "seed": 7,
+        "readers": 4, "reads_per_reader": 300,
+        "overload_readers": 8, "overload_reads_per_reader": 60,
+        "overload_read_delay": 0.004, "overload_max_inflight": 2,
+        "overload_max_waiting": 4, "overload_deadline": 2.0,
+        "accepted_p99_target": 0.5,
+    },
+    "default": {
+        "scale": 1.0, "batches": 16, "holdout": 0.15, "seed": 7,
+        "readers": 8, "reads_per_reader": 1000,
+        "overload_readers": 16, "overload_reads_per_reader": 150,
+        "overload_read_delay": 0.004, "overload_max_inflight": 2,
+        "overload_max_waiting": 4, "overload_deadline": 2.0,
+        "accepted_p99_target": 0.5,
+    },
+}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _latency_summary(latencies: List[float], elapsed: float) -> Dict:
+    ordered = sorted(latencies)
+    return {
+        "requests": len(ordered),
+        "qps": round(len(ordered) / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3) if ordered else 0.0,
+    }
+
+
+def _service(scenario, config: Dict = None) -> MatchService:
+    session = StreamSession(MLNMatcher(), scenario.base.store.copy(),
+                            blocker=CanopyBlocker(),
+                            relation_names=["coauthor"])
+    return MatchService(session=session, config=config).start()
+
+
+def _closed_loop(service: MatchService, readers: int, reads_each: int,
+                 deadline: float = None, run_while=None,
+                 think_time: float = 0.0):
+    """``readers`` threads, each issuing ``reads_each`` epoch-pinned reads.
+
+    Every read resolves one entity picked from the pinned epoch itself (so
+    churn never 404s) and records (latency, epoch id) on success or the
+    shed/expired outcome on refusal.  With ``run_while`` the loop instead
+    keeps issuing reads for as long as the predicate holds (at least one
+    pass), overlapping the reads with concurrent work.  ``think_time``
+    sleeps between requests — without it, spinning readers starve any
+    concurrent commit of the GIL.  Returns (latencies, epoch_ids, shed,
+    expired, elapsed_seconds).
+    """
+    latencies: List[float] = []
+    epochs: List[int] = []
+    outcomes = {"shed": 0, "expired": 0}
+    lock = threading.Lock()
+
+    def pinned_resolve(epoch):
+        # Deterministic pick: stride through the sorted universe.
+        ids = epoch.entity_ids
+        entity_id = next(iter(ids)) if ids else None
+        if entity_id is not None:
+            epoch.resolve(entity_id)
+        return epoch.epoch_id
+
+    def reader(index: int):
+        issued = 0
+        while issued < reads_each or (run_while is not None and run_while()):
+            if think_time and issued:
+                time.sleep(think_time)
+            issued += 1
+            started = time.perf_counter()
+            try:
+                epoch_id = service.read(pinned_resolve,
+                                        deadline_seconds=deadline)
+            except ServiceOverloadedError:
+                with lock:
+                    outcomes["shed"] += 1
+                continue
+            except DeadlineExceededError:
+                with lock:
+                    outcomes["expired"] += 1
+                continue
+            latency = time.perf_counter() - started
+            with lock:
+                latencies.append(latency)
+                epochs.append(epoch_id)
+
+    threads = [threading.Thread(target=reader, args=(i,))
+               for i in range(readers)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return latencies, epochs, outcomes["shed"], outcomes["expired"], elapsed
+
+
+def measure_baseline_reads(scenario, config: Dict) -> Dict:
+    """Closed-loop reads against a quiescent service."""
+    service = _service(scenario)
+    try:
+        latencies, _, _, _, elapsed = _closed_loop(
+            service, config["readers"], config["reads_per_reader"])
+        return _latency_summary(latencies, elapsed)
+    finally:
+        service.drain()
+
+
+def measure_reads_while_streaming(scenario, config: Dict) -> Dict:
+    """The same closed loop while the commit loop ingests the full stream."""
+    service = _service(scenario)
+    try:
+        commit_result = {}
+
+        def committer():
+            started = time.perf_counter()
+            try:
+                for batch in scenario.log:
+                    service.apply_deltas(batch, timeout=600)
+            except BaseException as exc:
+                commit_result["error"] = exc
+            finally:
+                commit_result["seconds"] = time.perf_counter() - started
+
+        commit_thread = threading.Thread(target=committer)
+        commit_thread.start()
+        latencies, epochs, _, _, elapsed = _closed_loop(
+            service, config["readers"], config["reads_per_reader"],
+            run_while=commit_thread.is_alive, think_time=0.001)
+        commit_thread.join()
+        if "error" in commit_result:
+            raise RuntimeError(
+                "delta commit failed while serving"
+            ) from commit_result["error"]
+
+        metrics = service.metrics()
+        batches = len(scenario.log)
+        return {
+            **_latency_summary(latencies, elapsed),
+            "delta_batches": batches,
+            "commit_seconds": round(commit_result["seconds"], 4),
+            "commits_per_second": round(
+                batches / commit_result["seconds"], 2)
+            if commit_result["seconds"] > 0 else 0.0,
+            "final_epoch": metrics["epoch"],
+            "epochs_published": metrics["counters"]["epochs_published"],
+            "epochs_observed": sorted(set(epochs)),
+            "all_observed_epochs_published":
+                all(0 <= e <= batches for e in epochs),
+            "commit_failures": metrics["counters"]["commit_failures"],
+        }
+    finally:
+        service.drain()
+
+
+def measure_overload(scenario, config: Dict) -> Dict:
+    """More closed-loop readers than a tiny gate can carry: shed, stay sane.
+
+    ``read_delay`` gives every read a fixed artificial service time, so the
+    offered load (readers / delay) deliberately exceeds gate capacity
+    (max_inflight / delay) and the wait queue overflows — the bound on
+    accepted-request latency is (max_waiting + 1) * read_delay plus
+    scheduling noise, far below the unbounded backlog a queue without
+    shedding would build.
+    """
+    service_config = ServiceConfig(
+        max_inflight=config["overload_max_inflight"],
+        max_waiting=config["overload_max_waiting"],
+        read_delay=config["overload_read_delay"],
+        retry_after=0.05)
+    service = _service(scenario, service_config)
+    try:
+        latencies, _, shed, expired, elapsed = _closed_loop(
+            service, config["overload_readers"],
+            config["overload_reads_per_reader"],
+            deadline=config["overload_deadline"])
+        stats = service.metrics()["admission"]
+        return {
+            **_latency_summary(latencies, elapsed),
+            "offered": config["overload_readers"]
+            * config["overload_reads_per_reader"],
+            "accepted": stats["admitted_total"],
+            "shed": shed,
+            "expired": expired,
+            "max_inflight": service_config.max_inflight,
+            "max_waiting": service_config.max_waiting,
+            "read_delay_ms": round(service_config.read_delay * 1e3, 3),
+            "latency_bound_ms": round(
+                (service_config.max_waiting + 1)
+                * service_config.read_delay * 1e3, 3),
+        }
+    finally:
+        service.drain()
+
+
+def run_workload(config: Dict) -> Dict:
+    dataset = dblp_like(scale=config["scale"])
+    scenario = synthesize_stream(dataset, batches=config["batches"],
+                                 holdout_fraction=config["holdout"],
+                                 seed=config["seed"])
+    return {
+        "preset": "dblp",
+        "scale": config["scale"],
+        "entities_base": len(scenario.base.store.entity_ids()),
+        "delta_batches": len(scenario.log),
+        "delta_ops": scenario.log.op_count(),
+        "baseline_reads": measure_baseline_reads(scenario, config),
+        "reads_while_streaming": measure_reads_while_streaming(scenario,
+                                                               config),
+        "overload": measure_overload(scenario, config),
+    }
+
+
+def run_bench(config_name: str) -> Dict:
+    config = CONFIGS[config_name]
+    return {
+        "bench": "serving",
+        "config": {"name": config_name, **config},
+        "workload": run_workload(config),
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """The CI gate: commits landed, reads stayed consistent, load was shed
+    while accepted-request latency stayed bounded."""
+    config = report["config"]
+    workload = report["workload"]
+    streaming = workload["reads_while_streaming"]
+    overload = workload["overload"]
+    failures = []
+    if streaming["final_epoch"] != workload["delta_batches"]:
+        failures.append(
+            f"final epoch {streaming['final_epoch']} != "
+            f"{workload['delta_batches']} committed batches")
+    if streaming["commit_failures"]:
+        failures.append(
+            f"{streaming['commit_failures']} commit failures while serving")
+    if not streaming["all_observed_epochs_published"]:
+        failures.append("a read observed an epoch that was never published")
+    if streaming["requests"] == 0:
+        failures.append("no reads completed while streaming")
+    if workload["delta_batches"] >= 2 \
+            and len(streaming["epochs_observed"]) < 2:
+        failures.append("reads never overlapped the commit stream: only "
+                        f"epochs {streaming['epochs_observed']} observed")
+    if overload["shed"] == 0:
+        failures.append("overload schedule shed nothing: admission control "
+                        "never engaged")
+    if overload["accepted"] == 0:
+        failures.append("overload schedule accepted nothing")
+    if overload["p99_ms"] > config["accepted_p99_target"] * 1e3:
+        failures.append(
+            f"accepted-read p99 {overload['p99_ms']}ms exceeds the "
+            f"{config['accepted_p99_target'] * 1e3:.0f}ms bound — shedding "
+            "is not keeping accepted latency bounded")
+    return failures
+
+
+# -------------------------------------------------------------- entrypoints
+def test_serving_smoke():
+    """Pytest entry point: the smoke config must pass the CI gate."""
+    report = run_bench("smoke")
+    print()
+    print(json.dumps(report, indent=2))
+    assert not check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="default")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorthand for --config smoke")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT}; gate-only runs "
+                             "with --check and no --output write nothing)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless commits landed, reads "
+                             "stayed epoch-consistent, and overload shed "
+                             "with bounded accepted latency")
+    args = parser.parse_args(argv)
+    config = "smoke" if args.smoke else args.config
+
+    report = run_bench(config)
+    print(json.dumps(report, indent=2))
+    # A bare --check run is a gate, not a recording — don't clobber the
+    # committed trajectory file with off-config numbers.
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        atomic_write_json(output, report, indent=2, trailing_newline=True)
+        print(f"\nwrote {output}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

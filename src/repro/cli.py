@@ -9,6 +9,8 @@ A small CLI that exposes the common pipeline without writing any Python::
     repro-em stream   --dataset base.json --deltas trace.json --verify
     repro-em stream   --dataset base.json --deltas trace.json --durable-dir wal/
     repro-em recover  --durable-dir wal/ --verify
+    repro-em serve    --dataset data.json --port 8080
+    repro-em serve    --durable-dir wal/ --port 8080
     repro-em info
 
 Every subcommand prints a plain-text report; ``match`` additionally writes the
@@ -38,7 +40,12 @@ from .datasets import (
     save_dataset,
 )
 from .evaluation import evaluate_cover, format_key_values, format_table, precision_recall_f1
-from .exceptions import DurabilityError, RecoveryError, TaskFailedError
+from .exceptions import (
+    DurabilityError,
+    RecoveryError,
+    ServiceError,
+    TaskFailedError,
+)
 from .matchers import MLNMatcher, PairwiseMatcher, RulesMatcher
 from .parallel import EXECUTOR_KINDS
 from .similarity import available as available_similarities
@@ -59,6 +66,7 @@ _MATCHERS = {
 EXIT_TASK_FAILED = 4
 EXIT_RECOVERY_FAILED = 5
 EXIT_DURABILITY_ERROR = 6
+EXIT_SERVICE_ERROR = 7
 
 
 def _add_fault_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -221,6 +229,50 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write recovered resolved clusters to this "
                               "JSON file")
     _add_fault_arguments(recover)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the standing match set over HTTP (epoch-snapshot reads, "
+             "delta commits, load shedding, read-only degradation)")
+    serve.add_argument("--dataset", type=Path, default=None,
+                       help="serve a fresh session over this dataset "
+                            "(cold SMP run at startup)")
+    serve.add_argument("--durable-dir", type=Path, default=None,
+                       help="with --dataset: run the served session durably "
+                            "(WAL + checkpoints) into this directory; "
+                            "without --dataset: recover the session from it "
+                            "(readiness is gated until recovery completes)")
+    serve.add_argument("--matcher", choices=sorted(_MATCHERS), default="mln")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one; default 8080)")
+    serve.add_argument("--executor", choices=list(EXECUTOR_KINDS), default=None,
+                       help="map-phase engine for the commit-loop grid rounds")
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="reads executing at once (default 32)")
+    serve.add_argument("--max-waiting", type=int, default=64,
+                       help="reads queued for a slot before shedding with "
+                            "429 (default 64)")
+    serve.add_argument("--delta-queue-limit", type=int, default=16,
+                       help="delta batches pending commit before writes shed "
+                            "(default 16)")
+    serve.add_argument("--deadline", type=float, default=5.0,
+                       help="default per-read deadline in seconds "
+                            "(504 when missed; default 5)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive commit failures that trip the "
+                            "service to read-only mode (default 3)")
+    serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       help="seconds in read-only mode before probing one "
+                            "commit (default 5)")
+    serve.add_argument("--checkpoint-every", type=int, default=8,
+                       help="batches between checkpoints when serving "
+                            "durably (default 8)")
+    serve.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                       help="drain and exit after this long (smoke/CI runs; "
+                            "default: serve until SIGTERM/SIGINT)")
+    _add_fault_arguments(serve)
 
     subparsers.add_parser("info", help="print version and registered similarity functions")
     return parser
@@ -412,8 +464,8 @@ def _command_recover(args: argparse.Namespace) -> int:
     import time
 
     from .durability import DurableStreamSession
-    if not args.durable_dir.exists():
-        raise SystemExit(f"durable directory not found: {args.durable_dir}")
+    # A missing/empty directory surfaces as the typed RecoveryError from
+    # DurableStreamSession.recover (exit code 5), naming the path.
     if args.workers is not None and args.executor is None:
         raise SystemExit("--workers requires --executor")
     started = time.perf_counter()
@@ -437,6 +489,82 @@ def _command_recover(args: argparse.Namespace) -> int:
 
     _write_clusters(session.matches, args.output)
     session.close(checkpoint=False)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serving import MatchService, MatchServingHTTPServer, ServiceConfig
+    if args.dataset is None and args.durable_dir is None:
+        raise SystemExit("serve needs --dataset (fresh session) or "
+                         "--durable-dir (crash recovery), or both "
+                         "(durable serving)")
+    if args.workers is not None and args.executor is None:
+        raise SystemExit("--workers requires --executor")
+    if args.duration is not None and args.duration <= 0:
+        raise SystemExit("--duration must be positive")
+    config = ServiceConfig(max_inflight=args.max_inflight,
+                           max_waiting=args.max_waiting,
+                           delta_queue_limit=args.delta_queue_limit,
+                           default_deadline=args.deadline,
+                           breaker_threshold=args.breaker_threshold,
+                           breaker_cooldown=args.breaker_cooldown)
+    fault_policy = _fault_policy(args)
+    if args.dataset is not None:
+        dataset = _load(args.dataset)
+        framework = EMFramework(_MATCHERS[args.matcher](), dataset.store,
+                                blocker=CanopyBlocker(),
+                                relation_names=["coauthor"])
+        service = framework.serve(config=config, executor=args.executor,
+                                  workers=args.workers,
+                                  durable_dir=args.durable_dir,
+                                  checkpoint_every=args.checkpoint_every,
+                                  fault_policy=fault_policy)
+        origin = f"dataset {args.dataset}"
+        if args.durable_dir is not None:
+            origin += f" (durable in {args.durable_dir})"
+    else:
+        service = MatchService.recover(args.durable_dir, config=config,
+                                       executor=args.executor,
+                                       workers=args.workers,
+                                       fault_policy=fault_policy)
+        origin = f"recovery from {args.durable_dir}"
+
+    # The HTTP frontend comes up first: /health and /ready answer (503)
+    # while the cold run / recovery is still in progress.
+    server = MatchServingHTTPServer(service, host=args.host, port=args.port)
+    server.start()
+    service.install_signal_handlers()
+    print(f"listening on {server.url} ({origin}); readiness gated until "
+          "startup completes")
+    try:
+        service.start()
+    except BaseException:
+        server.stop()
+        raise
+    epoch = service.current_epoch()
+    print(format_key_values({
+        "epoch": epoch.epoch_id,
+        "entities": len(epoch.entity_ids),
+        "matches": len(epoch.matches),
+        "mode": "read-write",
+    }, title="ready"))
+    try:
+        if service.wait_for_drain_request(args.duration):
+            print("drain requested (signal): finishing accepted batches, "
+                  "checkpointing, stopping")
+        else:
+            print(f"--duration {args.duration:g}s elapsed: draining")
+        service.drain()
+    finally:
+        server.stop()
+    final = service.metrics()
+    print(format_key_values({
+        "reads": final["counters"]["reads_total"],
+        "commits": final["counters"]["commits_total"],
+        "shed": final["counters"]["deltas_shed"]
+        + final["admission"]["shed_total"],
+        "final_epoch": final["epoch"],
+    }, title="stopped cleanly"))
     return 0
 
 
@@ -466,6 +594,7 @@ _COMMANDS = {
     "stream": _command_stream,
     "stream-trace": _command_stream_trace,
     "recover": _command_recover,
+    "serve": _command_serve,
     "info": _command_info,
 }
 
@@ -476,8 +605,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     The library's typed operational failures become one-line stderr messages
     with distinct exit codes instead of tracebacks: a grid task that
     exhausted its fault-tolerance budget exits ``4``, a failed crash
-    recovery exits ``5``, any other durability violation exits ``6``.
-    Programming errors still traceback — those are bugs, not conditions.
+    recovery exits ``5``, any other durability violation exits ``6``, a
+    serving-layer failure exits ``7``.  Programming errors still
+    traceback — those are bugs, not conditions.
     """
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -492,6 +622,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except DurabilityError as error:
         print(f"repro-em: durability error: {error}", file=sys.stderr)
         return EXIT_DURABILITY_ERROR
+    except ServiceError as error:
+        print(f"repro-em: service error: {error}", file=sys.stderr)
+        return EXIT_SERVICE_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -268,6 +268,47 @@ class EMFramework:
             self.open_stream()
         return self._stream.apply(batch)
 
+    # --------------------------------------------------------------- serving
+    def serve(self, config=None, executor=None, workers: Optional[int] = None,
+              durable_dir=None, checkpoint_every: int = 8, fsync: bool = True,
+              fault_policy=None):
+        """Wrap this framework's instance in a resolution service.
+
+        Returns an **unstarted**
+        :class:`~repro.serving.MatchService` whose startup (the SMP cold run
+        that seeds the first epoch — the expensive part) happens inside
+        :meth:`~repro.serving.MatchService.start` /
+        :meth:`~repro.serving.MatchService.start_background`, so an HTTP
+        frontend can already answer readiness probes while it runs.  With
+        ``durable_dir`` the underlying session is durable (WAL +
+        checkpoints), making the served state crash-recoverable via
+        ``MatchService.recover``.  Same blocker requirement as
+        :meth:`open_stream`.
+        """
+        from ..serving import MatchService
+        from ..streaming import StreamSession
+        if self._blocker is None:
+            raise ExperimentError(
+                "serve requires a blocker-built framework; a framework "
+                "constructed from an explicit cover cannot repair that cover "
+                "as the instance mutates")
+
+        def factory():
+            session = StreamSession(
+                self.matcher, self.store, blocker=self._blocker,
+                relation_names=self._relation_names, executor=executor,
+                workers=workers,
+                fault_policy=fault_policy if fault_policy is not None
+                else self.fault_policy)
+            if durable_dir is not None:
+                from ..durability import DurableStreamSession
+                return DurableStreamSession(session, durable_dir,
+                                            checkpoint_every=checkpoint_every,
+                                            fsync=fsync)
+            return session
+
+        return MatchService(session_factory=factory, config=config)
+
     # ------------------------------------------------------------- utilities
     def cover_stats(self) -> Dict[str, float]:
         """Size statistics of the cover (matches the numbers the paper reports)."""

@@ -203,10 +203,22 @@ class DurableStreamSession:
         next crash re-replays only new work.
         """
         directory = Path(directory)
+        if not directory.exists():
+            raise RecoveryError(
+                f"durable directory does not exist: {directory} — nothing "
+                "was ever written there (check the --durable-dir path)")
+        if not directory.is_dir():
+            raise RecoveryError(
+                f"durable path is not a directory: {directory}")
         checkpoints = CheckpointManager(directory, keep=keep_checkpoints,
                                         fsync=fsync)
         loaded = checkpoints.load_latest()
         if loaded is None:
+            if not any(directory.iterdir()):
+                raise RecoveryError(
+                    f"durable directory is empty: {directory} — no "
+                    "checkpoint or WAL to recover from (was the session "
+                    "ever started?)")
             raise RecoveryError(f"no checkpoint found in {directory} — "
                                 "nothing to recover the WAL against")
         checkpoint_id, payload = loaded
@@ -230,7 +242,10 @@ class DurableStreamSession:
             expansion_rounds=config["expansion_rounds"],
             rebase_threshold=config["rebase_threshold"],
             fallback_dirty_fraction=config["fallback_dirty_fraction"],
-            fault_policy=fault_policy)
+            fault_policy=fault_policy,
+            # Checkpoints written before the supervision history existed
+            # fall back to the constructor default.
+            supervision_limit=config.get("supervision_limit", 64))
         session.restore_standing(standing)
 
         wal = DeltaWAL.open(directory / WAL_FILENAME, fsync=fsync)

@@ -87,6 +87,49 @@ class DeltaError(ReproError):
     """Raised by the streaming layer for malformed or inapplicable deltas."""
 
 
+class ServiceError(ReproError):
+    """Base class of the match-serving layer's operational failures.
+
+    Every subclass maps to one HTTP status in the serving layer and all of
+    them share one distinct CLI exit code, so operators can tell a service
+    refusal (overload, deadline, degraded mode) from a crash.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed the request: a bounded queue or gate was full.
+
+    Maps to HTTP 429; ``retry_after`` is the server's backoff hint in
+    seconds (the ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """The request missed its deadline while queued or executing (HTTP 504)."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot take the request in its current lifecycle state
+    (starting/recovering, draining, or stopped).  Maps to HTTP 503."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceReadOnlyError(ServiceUnavailableError):
+    """Writes are refused: the commit circuit breaker is open.
+
+    The service degraded to read-only after repeated commit failures instead
+    of dying; reads keep being served from the last published epoch.
+    ``retry_after`` is the remaining breaker cooldown.
+    """
+
+
 class DurabilityError(ReproError):
     """Raised by the durability layer for invalid WAL/checkpoint operations."""
 

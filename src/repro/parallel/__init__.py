@@ -23,6 +23,7 @@ from .resilience import (
     FaultPolicy,
     ResilientExecutor,
     RoundReport,
+    SupervisionHistory,
 )
 from .tasks import (
     CompactMapTask,
@@ -48,6 +49,7 @@ __all__ = [
     "ResilientExecutor",
     "RoundReport",
     "SerialExecutor",
+    "SupervisionHistory",
     "ThreadedExecutor",
     "execute_compact_map_task",
     "execute_map_task",

@@ -58,6 +58,7 @@ import itertools
 import math
 import time
 import zlib
+from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -169,6 +170,74 @@ class RoundReport:
         for report in reports:
             total.merge(report)
         return total
+
+
+class SupervisionHistory:
+    """Bounded per-session accumulation of supervised-round reports.
+
+    A long-lived session runs one grid round-set per change batch, each
+    producing a list of :class:`RoundReport`\\ s
+    (:attr:`~repro.parallel.grid.GridRunResult.round_reports` — bounded
+    within one run by ``max_rounds``, but unbounded *across* batches if the
+    caller keeps them all).  This class keeps that history bounded: the last
+    ``limit`` per-batch aggregate reports are retained verbatim while
+    running **aggregate counters** (one merged :class:`RoundReport` plus
+    batch/round totals) cover everything ever recorded, including evicted
+    entries — so operational metrics never lose information while memory
+    stays O(limit).
+    """
+
+    def __init__(self, limit: int = 64):
+        if limit < 0:
+            raise ExperimentError("supervision history limit must be >= 0 "
+                                  "(0 keeps aggregates only)")
+        self.limit = limit
+        #: Merged counters over every round ever recorded (never evicted).
+        self.totals = RoundReport()
+        self.batches_recorded = 0
+        self.rounds_recorded = 0
+        #: Per-batch aggregate reports evicted to honour ``limit``.
+        self.batches_evicted = 0
+        self._recent: deque = deque(maxlen=limit if limit > 0 else 1)
+        if limit == 0:
+            self._recent = deque(maxlen=0)
+
+    def record(self, reports: Sequence[RoundReport]) -> None:
+        """Fold one batch's round reports into the history.
+
+        Batches that ran unsupervised (no fault policy — empty ``reports``)
+        still count toward ``batches_recorded`` so gaps are visible.
+        """
+        self.batches_recorded += 1
+        self.rounds_recorded += len(reports)
+        batch_report = RoundReport.aggregate(reports)
+        self.totals.merge(batch_report)
+        if self.limit == 0:
+            self.batches_evicted += 1
+            return
+        if len(self._recent) == self.limit:
+            self.batches_evicted += 1
+        self._recent.append(batch_report)
+
+    @property
+    def recent(self) -> Tuple[RoundReport, ...]:
+        """The retained per-batch aggregates, oldest first (≤ ``limit``)."""
+        return tuple(self._recent)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Aggregate counters as a flat JSON-compatible dict (for metrics)."""
+        counters = {spec.name: getattr(self.totals, spec.name)
+                    for spec in fields(self.totals)}
+        counters.update(
+            batches_recorded=self.batches_recorded,
+            rounds_recorded=self.rounds_recorded,
+            batches_evicted=self.batches_evicted,
+            history_limit=self.limit,
+        )
+        return counters
+
+    def __len__(self) -> int:
+        return len(self._recent)
 
 
 class _TaskState:

@@ -1,0 +1,47 @@
+"""Resilient match serving: an always-available resolution service.
+
+The streaming layer maintains a standing match set; this package turns it
+into a *service*: epoch-snapshot reads over an immutable
+:class:`~repro.serving.epoch.Epoch` published per committed batch,
+admission control with bounded queues and load shedding
+(:class:`~repro.serving.admission.AdmissionGate`), graceful degradation to
+read-only mode behind a commit
+:class:`~repro.serving.breaker.CircuitBreaker`, a crash-safe
+``starting → ready → draining → stopped`` lifecycle with recovery-gated
+readiness (:class:`~repro.serving.service.MatchService`), and a stdlib
+HTTP frontend (:class:`~repro.serving.http.MatchServingHTTPServer`).
+"""
+
+from .admission import AdmissionGate, Deadline
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .epoch import Epoch
+from .http import MatchServingHTTPServer
+from .service import (
+    DRAINING,
+    FAILED,
+    READY,
+    STARTING,
+    STOPPED,
+    CommitTicket,
+    MatchService,
+    ServiceConfig,
+)
+
+__all__ = [
+    "AdmissionGate",
+    "CLOSED",
+    "CircuitBreaker",
+    "CommitTicket",
+    "DRAINING",
+    "Deadline",
+    "Epoch",
+    "FAILED",
+    "HALF_OPEN",
+    "MatchService",
+    "MatchServingHTTPServer",
+    "OPEN",
+    "READY",
+    "STARTING",
+    "STOPPED",
+    "ServiceConfig",
+]

@@ -1,0 +1,143 @@
+"""Circuit breaker around the commit loop: trip to read-only, probe back.
+
+The commit loop applies delta batches through the wrapped stream session.
+A *persistent* commit failure — a grid task that exhausted its whole
+fault-tolerance budget (:class:`~repro.exceptions.TaskFailedError`) or a
+broken WAL/checkpoint substrate
+(:class:`~repro.exceptions.DurabilityError`) — must not kill the service:
+reads are still perfectly serveable from the last published epoch.  The
+breaker encodes that degradation ladder:
+
+* **closed** — commits flow; each success resets the failure streak;
+* **open** — after ``threshold`` consecutive failures the breaker trips,
+  the service drops to **read-only mode** (writes refused with
+  :class:`~repro.exceptions.ServiceReadOnlyError`, advertised via
+  ``/health``), and stays there for ``cooldown`` seconds;
+* **half-open** — after the cooldown exactly one probe batch is admitted;
+  success closes the breaker (read-write restored), failure re-opens it
+  for another cooldown.
+
+State transitions happen under a lock and the clock is injectable, so the
+trip/recover schedule is fully deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing (see module docs)."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 clock: Clock = time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Lifetime counters.
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allows_writes(self) -> bool:
+        """Closed, or open-with-cooldown-elapsed (a probe may be admitted)."""
+        with self._lock:
+            return self._state == CLOSED or self._probe_due_locked()
+
+    def retry_after(self) -> float:
+        """Remaining cooldown (the ``Retry-After`` hint while open)."""
+        with self._lock:
+            if self._state == CLOSED:
+                return 0.0
+            return max(0.0, self._opened_at + self.cooldown - self._clock())
+
+    # --------------------------------------------------------- transitions
+    def _probe_due_locked(self) -> bool:
+        if self._probe_inflight:
+            return False
+        if self._state == HALF_OPEN:
+            return True
+        return self._state == OPEN and \
+            self._clock() - self._opened_at >= self.cooldown
+
+    def admit(self) -> bool:
+        """Whether one write may proceed right now.
+
+        Closed: always.  Open: only once the cooldown elapsed, and then
+        exactly one caller wins the half-open probe slot; everyone else is
+        refused until the probe settles.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if not self._probe_due_locked():
+                return False
+            self._state = HALF_OPEN
+            self._probe_inflight = True
+            self.probes += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state != CLOSED:
+                self.recoveries += 1
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_inflight = False
+
+    def release_probe(self) -> None:
+        """Void a half-open probe whose outcome says nothing about the
+        substrate (e.g. the probe batch was malformed): return to open with
+        the cooldown already elapsed, so the next write probes again."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, fresh cooldown.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+            elif self._state == CLOSED and self._failures >= self.threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "cooldown_seconds": self.cooldown,
+                "trips": self.trips,
+                "probes": self.probes,
+                "recoveries": self.recoveries,
+            }

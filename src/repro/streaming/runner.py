@@ -104,7 +104,8 @@ class StreamSession:
                  expansion_rounds: int = 1,
                  rebase_threshold: int = 5000,
                  fallback_dirty_fraction: float = 0.5,
-                 fault_policy=None):
+                 fault_policy=None,
+                 supervision_limit: int = 64):
         normalized = scheme.lower().replace("_", "-")
         if normalized != "smp":
             raise DeltaError(
@@ -151,6 +152,13 @@ class StreamSession:
         self._round_offset = 0
         self.batches_applied = 0
         self.started = False
+        # Supervision history across the session's lifetime.  Each batch's
+        # grid run yields up to ``max_rounds`` RoundReports; a long-lived
+        # session would accumulate them without bound, so only the last
+        # ``supervision_limit`` per-batch aggregates are retained verbatim
+        # while running totals cover everything (including evicted batches).
+        from ..parallel.resilience import SupervisionHistory
+        self.supervision = SupervisionHistory(limit=supervision_limit)
 
     # ------------------------------------------------------------ store view
     def _store_view(self):
@@ -185,6 +193,7 @@ class StreamSession:
                                 store_cache=name_cache)
         self.cover = cover
         self._absorb(result, cover, clean_results={}, name_cache=name_cache)
+        self.supervision.record(result.round_reports)
         self.started = True
         self.batches_applied = 0
         return BatchResult(
@@ -243,6 +252,7 @@ class StreamSession:
         self.cover = cover
         self._absorb(result, cover, clean_results=clean_results,
                      name_cache=name_cache)
+        self.supervision.record(result.round_reports)
 
         rebased = False
         if self.overlay.delta_size() >= self.rebase_threshold:
@@ -523,6 +533,7 @@ class StreamSession:
             "expansion_rounds": self.maintainer.rounds,
             "rebase_threshold": self.rebase_threshold,
             "fallback_dirty_fraction": self.maintainer.fallback_dirty_fraction,
+            "supervision_limit": self.supervision.limit,
         }
 
     # -------------------------------------------------------- verification

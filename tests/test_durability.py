@@ -403,7 +403,11 @@ def test_cli_stream_durable_and_recover(tmp_path, dblp_dataset):
     assert all(len(cluster) > 1 for cluster in clusters)
 
 
-def test_cli_recover_without_state_exits_nonzero(tmp_path):
-    from repro.cli import main
-    with pytest.raises(SystemExit):
-        main(["recover", "--durable-dir", str(tmp_path / "nothing")])
+def test_cli_recover_without_state_exits_nonzero(tmp_path, capsys):
+    from repro.cli import EXIT_RECOVERY_FAILED, main
+
+    code = main(["recover", "--durable-dir", str(tmp_path / "nothing")])
+    assert code == EXIT_RECOVERY_FAILED
+    err = capsys.readouterr().err
+    assert "durable directory does not exist" in err
+    assert str(tmp_path / "nothing") in err

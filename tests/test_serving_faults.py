@@ -1,0 +1,390 @@
+"""Serving-layer fault matrix: degradation, overload, lifecycle, recovery.
+
+The acceptance properties of the serving layer under induced failure:
+
+* persistent commit failures trip the service to **read-only mode**
+  (advertised via health) instead of crashing, and a successful half-open
+  probe restores read-write;
+* overload **sheds** with the typed 429 error and expires queued requests
+  with the typed 504, keeping accepted work bounded;
+* readiness stays gated while startup/recovery runs, and startup failures
+  surface as recorded state, not dead threads;
+* SIGTERM requests a drain that finishes accepted batches and checkpoints,
+  and a **drained-then-recovered service is byte-identical** to one that
+  never stopped;
+* the per-session supervision history stays bounded while its aggregate
+  counters keep the full story.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+from repro.datamodel import EntityPair, make_author
+from repro.durability import DurableStreamSession
+from repro.exceptions import (
+    DeadlineExceededError,
+    ExperimentError,
+    RecoveryError,
+    ServiceOverloadedError,
+    ServiceReadOnlyError,
+    ServiceUnavailableError,
+    TaskFailedError,
+)
+from repro.matchers import MLNMatcher
+from repro.parallel import RoundReport, SupervisionHistory
+from repro.serving import (
+    CLOSED,
+    MatchService,
+    ServiceConfig,
+)
+from repro.streaming import (
+    AddEntity,
+    ChangeBatch,
+    StreamSession,
+    UpsertSimilarity,
+)
+from test_serving import FakeClock, pair
+from util import build_shared_coauthor_store
+
+
+def fresh_session() -> StreamSession:
+    return StreamSession(MLNMatcher(), build_shared_coauthor_store())
+
+
+def similarity_batch(index: int) -> ChangeBatch:
+    return ChangeBatch([UpsertSimilarity(pair("c1", "d1"),
+                                         0.5 + index * 0.01, 1)])
+
+
+# ------------------------------------------------------ graceful degradation
+class TestReadOnlyDegradation:
+    def test_persistent_commit_failures_trip_to_read_only(self):
+        clock = FakeClock()
+        config = ServiceConfig(breaker_threshold=2, breaker_cooldown=10.0)
+        service = MatchService(session=fresh_session(), config=config,
+                               clock=clock).start()
+        try:
+            real_apply = service.session.apply
+            service._session.apply = lambda batch: (_ for _ in ()).throw(
+                TaskFailedError("worker pool lost"))
+            for index in range(2):
+                with pytest.raises(TaskFailedError):
+                    service.apply_deltas(similarity_batch(index), timeout=30)
+            # Degraded, not dead: reads still answer from the last epoch.
+            assert service.read_only
+            assert service.health()["mode"] == "read-only"
+            assert service.health()["status"] == "ok"
+            assert service.resolve("c2")["canonical"] == "c1"
+            with pytest.raises(ServiceReadOnlyError) as excinfo:
+                service.submit_deltas(similarity_batch(9))
+            assert excinfo.value.retry_after > 0
+            counters = service.metrics()["counters"]
+            assert counters["commit_failures"] == 2
+            assert counters["deltas_rejected_read_only"] == 1
+
+            # After the cooldown one probe is admitted; success recovers.
+            clock.advance(10.0)
+            service._session.apply = real_apply
+            result = service.apply_deltas(similarity_batch(3), timeout=30)
+            assert result.batch_index == 1
+            assert not service.read_only
+            assert service.breaker.recoveries == 1
+            assert service.current_epoch().epoch_id == 1
+        finally:
+            service.drain()
+
+    def test_failed_probe_reopens_read_only_mode(self):
+        clock = FakeClock()
+        config = ServiceConfig(breaker_threshold=1, breaker_cooldown=5.0)
+        service = MatchService(session=fresh_session(), config=config,
+                               clock=clock).start()
+        try:
+            service._session.apply = lambda batch: (_ for _ in ()).throw(
+                TaskFailedError("still broken"))
+            with pytest.raises(TaskFailedError):
+                service.apply_deltas(similarity_batch(0), timeout=30)
+            assert service.read_only
+            clock.advance(5.0)
+            with pytest.raises(TaskFailedError):  # the probe fails too
+                service.apply_deltas(similarity_batch(1), timeout=30)
+            assert service.read_only
+            with pytest.raises(ServiceReadOnlyError):
+                service.submit_deltas(similarity_batch(2))
+            assert service.breaker.trips == 1
+            assert service.breaker.probes == 1
+        finally:
+            service.drain()
+
+
+# ------------------------------------------------------------------ overload
+class TestOverload:
+    def test_saturated_reads_shed_with_429(self):
+        config = ServiceConfig(max_inflight=1, max_waiting=0,
+                               retry_after=0.125)
+        service = MatchService(session=fresh_session(),
+                               config=config).start()
+        occupied = threading.Event()
+        release = threading.Event()
+
+        def slow_read(epoch):
+            occupied.set()
+            release.wait(10)
+            return epoch.epoch_id
+
+        holder = threading.Thread(target=lambda: service.read(slow_read))
+        holder.start()
+        try:
+            assert occupied.wait(5)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                service.resolve("c1")
+            assert excinfo.value.retry_after == 0.125
+            assert service.metrics()["admission"]["shed_total"] == 1
+            assert service.metrics()["counters"]["reads_failed"] == 1
+        finally:
+            release.set()
+            holder.join(timeout=10)
+            service.drain()
+
+    def test_queued_read_expires_with_504(self):
+        config = ServiceConfig(max_inflight=1, max_waiting=4)
+        service = MatchService(session=fresh_session(),
+                               config=config).start()
+        occupied = threading.Event()
+        release = threading.Event()
+        holder = threading.Thread(target=lambda: service.read(
+            lambda epoch: (occupied.set(), release.wait(10))))
+        holder.start()
+        try:
+            assert occupied.wait(5)
+            with pytest.raises(DeadlineExceededError):
+                service.resolve("c1", deadline_seconds=0.05)
+            assert service.metrics()["admission"]["deadline_total"] == 1
+        finally:
+            release.set()
+            holder.join(timeout=10)
+            service.drain()
+
+    def test_full_commit_queue_sheds_writes(self):
+        config = ServiceConfig(delta_queue_limit=1)
+        service = MatchService(session=fresh_session(),
+                               config=config).start()
+        entered = threading.Event()
+        release = threading.Event()
+        real_apply = service.session.apply
+
+        def stuck_apply(batch):
+            entered.set()
+            release.wait(10)
+            return real_apply(batch)
+
+        service._session.apply = stuck_apply
+        try:
+            first = service.submit_deltas(similarity_batch(0))
+            assert entered.wait(5)  # commit loop is busy with batch 0
+            second = service.submit_deltas(similarity_batch(1))  # queued
+            with pytest.raises(ServiceOverloadedError, match="queue full"):
+                service.submit_deltas(similarity_batch(2))
+            assert service.metrics()["counters"]["deltas_shed"] == 1
+            release.set()
+            assert first.wait(30).batch_index == 1
+            assert second.wait(30).batch_index == 2
+        finally:
+            release.set()
+            service.drain()
+
+    def test_ticket_wait_timeout_is_typed(self):
+        service = MatchService(session=fresh_session()).start()
+        blocked = threading.Event()
+        release = threading.Event()
+        real_apply = service.session.apply
+
+        def stuck_apply(batch):
+            blocked.set()
+            release.wait(10)
+            return real_apply(batch)
+
+        service._session.apply = stuck_apply
+        try:
+            ticket = service.submit_deltas(similarity_batch(0))
+            assert blocked.wait(5)
+            with pytest.raises(DeadlineExceededError, match="not committed"):
+                ticket.wait(0.05)
+            release.set()
+            assert ticket.wait(30).batch_index == 1  # still committed
+        finally:
+            release.set()
+            service.drain()
+
+
+# ----------------------------------------------------------------- lifecycle
+class TestLifecycle:
+    def test_readiness_gated_until_startup_completes(self):
+        gate = threading.Event()
+
+        def slow_factory():
+            gate.wait(10)
+            return fresh_session()
+
+        service = MatchService(session_factory=slow_factory)
+        service.start_background()
+        assert not service.ready
+        assert service.state == "starting"
+        with pytest.raises(ServiceUnavailableError):
+            service.resolve("c1")
+        with pytest.raises(ServiceUnavailableError):
+            service.submit_deltas(similarity_batch(0))
+        gate.set()
+        assert service.wait_ready(30)
+        assert service.resolve("c1")["epoch"] == 0
+        service.drain()
+
+    def test_startup_failure_is_recorded_not_raised(self):
+        def broken_factory():
+            raise RecoveryError("nothing to recover")
+
+        service = MatchService(session_factory=broken_factory)
+        service.start_background()
+        assert not service.wait_ready(30)
+        assert service.state == "failed"
+        assert isinstance(service.startup_error, RecoveryError)
+        assert service.health()["status"] == "failed"
+
+    def test_sigterm_requests_drain_and_drain_finishes_batches(self):
+        service = MatchService(session=fresh_session()).start()
+        assert service.install_signal_handlers()
+        try:
+            assert not service.wait_for_drain_request(0)
+            signal.raise_signal(signal.SIGTERM)
+            assert service.wait_for_drain_request(5)
+        finally:
+            service.drain()
+        assert service.state == "stopped"
+        # Handlers were restored by drain(): a second SIGTERM must not
+        # re-trigger anything on the stopped service.
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL \
+            or signal.getsignal(signal.SIGTERM) != service._on_signal
+
+    def test_drain_commits_already_accepted_batches(self):
+        service = MatchService(session=fresh_session()).start()
+        slow = threading.Event()
+        real_apply = service.session.apply
+
+        def delayed_apply(batch):
+            slow.wait(0.05)
+            return real_apply(batch)
+
+        service._session.apply = delayed_apply
+        tickets = [service.submit_deltas(similarity_batch(i))
+                   for i in range(3)]
+        service.drain()  # must not abandon the three accepted tickets
+        assert [t.wait(0).batch_index for t in tickets] == [1, 2, 3]
+        assert service.current_epoch().epoch_id == 3
+
+
+# -------------------------------------------------------- drain → recovery
+class TestDrainRecovery:
+    def _log(self):
+        return [
+            ChangeBatch([AddEntity(make_author("n1", "Nora", "Weiss")),
+                         UpsertSimilarity(pair("c1", "n1"), 0.97, 3)]),
+            ChangeBatch([UpsertSimilarity(pair("c2", "n1"), 0.91, 2)]),
+        ]
+
+    def test_drained_service_recovers_byte_identical(self, tmp_path):
+        durable = DurableStreamSession(fresh_session(), tmp_path,
+                                       checkpoint_every=0, fsync=False)
+        service = MatchService(session=durable).start()
+        for batch in self._log():
+            service.apply_deltas(batch, timeout=60)
+        reference = service.session.session.standing_state()
+        service.drain(checkpoint=True)
+
+        # Reference: the same stream with no service and no interruption.
+        uninterrupted = fresh_session()
+        uninterrupted.start()
+        for batch in self._log():
+            uninterrupted.apply(batch)
+        assert uninterrupted.standing_state() == reference
+
+        recovered = MatchService.recover(tmp_path, fsync=False)
+        recovered.start()
+        try:
+            assert recovered.session.session.standing_state() == reference
+            assert recovered.current_epoch().epoch_id == 2
+            assert recovered.current_epoch().matches == \
+                uninterrupted.matches
+            # And the recovered service keeps serving writes.
+            result = recovered.apply_deltas(
+                ChangeBatch([UpsertSimilarity(pair("d1", "n1"), 0.5, 1)]),
+                timeout=60)
+            assert result.batch_index == 3
+        finally:
+            recovered.drain(checkpoint=False)
+
+    def test_recover_from_missing_directory_is_typed(self, tmp_path):
+        service = MatchService.recover(tmp_path / "never-written")
+        with pytest.raises(RecoveryError, match="does not exist"):
+            service.start()
+        assert service.state == "failed"
+
+    def test_recover_from_empty_directory_is_typed(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        service = MatchService.recover(empty)
+        with pytest.raises(RecoveryError, match="empty"):
+            service.start()
+        assert isinstance(service.startup_error, RecoveryError)
+
+
+# ------------------------------------------------------- supervision history
+class TestSupervisionHistory:
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ExperimentError):
+            SupervisionHistory(limit=-1)
+
+    def test_bounded_recent_with_complete_totals(self):
+        history = SupervisionHistory(limit=3)
+        for index in range(10):
+            history.record([RoundReport(tasks=2, retries=index % 2)])
+        assert len(history.recent) == 3
+        assert history.batches_recorded == 10
+        assert history.rounds_recorded == 10
+        assert history.batches_evicted == 7
+        assert history.totals.tasks == 20  # evicted batches still counted
+        snapshot = history.snapshot()
+        assert snapshot["tasks"] == 20
+        assert snapshot["retries"] == 5
+        assert snapshot["history_limit"] == 3
+
+    def test_zero_limit_keeps_aggregates_only(self):
+        history = SupervisionHistory(limit=0)
+        history.record([RoundReport(tasks=1)])
+        assert history.recent == ()
+        assert history.totals.tasks == 1
+
+    def test_stream_session_history_is_capped(self):
+        session = StreamSession(MLNMatcher(), build_shared_coauthor_store(),
+                                supervision_limit=2)
+        session.start()
+        for index in range(4):
+            session.apply(similarity_batch(index))
+        assert session.supervision.limit == 2
+        assert len(session.supervision.recent) <= 2
+        assert session.supervision.batches_recorded == 5  # cold start + 4
+        assert session.session_config()["supervision_limit"] == 2
+
+    def test_supervision_limit_survives_recovery(self, tmp_path):
+        durable = DurableStreamSession(
+            StreamSession(MLNMatcher(), build_shared_coauthor_store(),
+                          supervision_limit=7),
+            tmp_path, checkpoint_every=1, fsync=False)
+        durable.start()
+        durable.apply(similarity_batch(0))
+        durable.close()
+        recovered = DurableStreamSession.recover(tmp_path, fsync=False)
+        assert recovered.session.supervision.limit == 7
+        recovered.close(checkpoint=False)
