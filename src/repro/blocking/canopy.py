@@ -219,12 +219,21 @@ class CanopyBlocker(Blocker):
 
         if self.similarity is author_name_cheap_similarity:
             scorer = ProfiledNameScorer(pindex.name_parts())
+            # Kernel-backed batch sweep when numpy is available; the batch
+            # scorer replays the scalar arithmetic bit-exactly over interned
+            # row caches, so the canopies are identical either way.
+            batch = scorer.batch_scorer(pindex.postings)
 
             def profiled_canopy(center_id: str) -> Tuple[Set[str], Set[str]]:
                 canopy: Set[str] = {center_id}
                 removed: Set[str] = {center_id}
-                for candidate_id, candidate_score in scorer.canopy_scores(
-                        center_id, pindex.candidates(center_id), loose):
+                if batch is not None:
+                    scored = batch.canopy_scores_from_tokens(
+                        center_id, pindex.profile(center_id).token_set, loose)
+                else:
+                    scored = scorer.canopy_scores(
+                        center_id, pindex.candidates(center_id), loose)
+                for candidate_id, candidate_score in scored:
                     canopy.add(candidate_id)
                     if candidate_score >= tight:
                         removed.add(candidate_id)
@@ -271,13 +280,19 @@ class CanopyBlocker(Blocker):
         index = self.profile_index(entities, profiles)
         space = index.interned_space(interner)
         scorer = ProfiledNameScorer(space.parts)
+        batch = scorer.batch_scorer(space.postings)
         loose, tight = self.loose_threshold, self.tight_threshold
 
         def interned_canopy(center: int) -> Tuple[Set[int], Set[int]]:
             canopy: Set[int] = {center}
             removed: Set[int] = {center}
-            for candidate, score in scorer.canopy_scores(
-                    center, space.candidates(center), loose):
+            if batch is not None:
+                scored = batch.canopy_scores_from_tokens(
+                    center, space.tokens[center], loose)
+            else:
+                scored = scorer.canopy_scores(
+                    center, space.candidates(center), loose)
+            for candidate, score in scored:
                 canopy.add(candidate)
                 if score >= tight:
                     removed.add(candidate)

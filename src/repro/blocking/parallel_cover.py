@@ -66,15 +66,25 @@ def score_canopy_chunk(center_ids: Sequence,
     scorer is generic over the key type.
     """
     scorer = ProfiledNameScorer(parts, similarity)
+    # Batched sweep when the worker resolves the numpy kernel backend; the
+    # batch scorer shares the memos and replays the scalar arithmetic, so
+    # chunk results are bitwise identical across backends (and therefore
+    # across mixed fleets).
+    batch = scorer.batch_scorer(postings)
     results: List[Tuple[object, FrozenSetPair]] = []
     for center_id in center_ids:
-        candidates: Set = set()
-        for token in center_tokens[center_id]:
-            candidates.update(postings.get(token, ()))
-        candidates.discard(center_id)
         canopy: Set[str] = {center_id}
         removed: Set[str] = {center_id}
-        for candidate_id, score in scorer.canopy_scores(center_id, candidates, loose):
+        if batch is not None:
+            scored = batch.canopy_scores_from_tokens(
+                center_id, center_tokens[center_id], loose)
+        else:
+            candidates: Set = set()
+            for token in center_tokens[center_id]:
+                candidates.update(postings.get(token, ()))
+            candidates.discard(center_id)
+            scored = scorer.canopy_scores(center_id, candidates, loose)
+        for candidate_id, score in scored:
             canopy.add(candidate_id)
             if score >= tight:
                 removed.add(candidate_id)

@@ -69,6 +69,17 @@ EXIT_DURABILITY_ERROR = 6
 EXIT_SERVICE_ERROR = 7
 
 
+def _add_kernel_argument(subparser: argparse.ArgumentParser) -> None:
+    """The batch-kernel backend flag shared by the scoring subcommands."""
+    from .kernels import VALID_CHOICES
+    subparser.add_argument(
+        "--kernel-backend", choices=list(VALID_CHOICES), default=None,
+        help="batch scoring kernel backend: 'numpy' requires the "
+             "[speed] extra, 'python' forces the scalar reference "
+             "paths, 'auto' probes (default; scores are byte-identical "
+             "either way)")
+
+
 def _add_fault_arguments(subparser: argparse.ArgumentParser) -> None:
     """Fault-tolerance flags shared by the grid-running subcommands."""
     subparser.add_argument(
@@ -132,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="storage backend the cover is built against; "
                             "'compact' snapshots the store into interned "
                             "flat arrays (the cover is identical)")
+    _add_kernel_argument(cover)
 
     match = subparsers.add_parser("match", help="run a matcher under a message-passing scheme")
     match.add_argument("--dataset", type=Path, required=True)
@@ -154,6 +166,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "neighborhood views (match sets are identical)")
     match.add_argument("--output", type=Path, default=None,
                        help="write resolved clusters to this JSON file")
+    _add_kernel_argument(match)
     _add_fault_arguments(match)
 
     trace = subparsers.add_parser(
@@ -209,6 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "and exit cleanly")
     stream.add_argument("--output", type=Path, default=None,
                         help="write final resolved clusters to this JSON file")
+    _add_kernel_argument(stream)
     _add_fault_arguments(stream)
 
     recover = subparsers.add_parser(
@@ -228,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--output", type=Path, default=None,
                          help="write recovered resolved clusters to this "
                               "JSON file")
+    _add_kernel_argument(recover)
     _add_fault_arguments(recover)
 
     serve = subparsers.add_parser(
@@ -272,6 +287,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None, metavar="SECONDS",
                        help="drain and exit after this long (smoke/CI runs; "
                             "default: serve until SIGTERM/SIGINT)")
+    _add_kernel_argument(serve)
     _add_fault_arguments(serve)
 
     subparsers.add_parser("info", help="print version and registered similarity functions")
@@ -611,6 +627,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "kernel_backend", None) is not None:
+        from .exceptions import ExperimentError
+        from .kernels import set_backend
+        try:
+            set_backend(args.kernel_backend)
+        except ExperimentError as error:
+            print(f"repro-em: {error}", file=sys.stderr)
+            return 2
     try:
         return _COMMANDS[args.command](args)
     except TaskFailedError as error:

@@ -53,7 +53,17 @@ class EMFramework:
                  blocking_executor=None,
                  blocking_workers: Optional[int] = None,
                  store_backend: str = "dict",
-                 fault_policy=None):
+                 fault_policy=None,
+                 kernel_backend: Optional[str] = None):
+        # Kernel backend selection first: it governs how the cover built
+        # below is computed.  ``None`` leaves the process-wide probe alone
+        # (env var / auto-detection); the choice never changes any cover or
+        # match set — every numpy kernel is bit-exact against its scalar
+        # reference — only the speed.
+        from ..kernels import backend as kernel_probe, collecting, set_backend
+        if kernel_backend is not None:
+            set_backend(kernel_backend)
+        self.kernel_backend = kernel_probe()
         normalized_backend = store_backend.lower()
         if normalized_backend not in STORE_BACKENDS:
             raise ExperimentError(
@@ -69,6 +79,11 @@ class EMFramework:
         # the same blocker configuration (None when a cover was supplied).
         self._blocker: Optional[Blocker] = None
         self._relation_names: Optional[list] = None
+        #: Batch-kernel work done during cover construction (this process
+        #: only — parallel-cover worker processes do not report back here).
+        #: All zeros when a cover was supplied or the scalar backend ran.
+        from ..kernels import KernelCounters
+        self.blocking_kernel_counters = KernelCounters()
         if cover is not None:
             self.cover = cover
         else:
@@ -79,19 +94,21 @@ class EMFramework:
                 # other relational evidence pass relation_names explicitly.
                 relation_names = ["coauthor"] if store.has_relation("coauthor") \
                     else store.relation_names()
-            if blocking_executor is not None or blocking_workers is not None:
-                # Parallel cover pipeline: sharded canopy waves + sharded
-                # boundary expansion, byte-identical to the serial build.
-                if blocking_executor is None:
-                    blocking_executor = "processes"
-                builder = ParallelCoverBuilder(chosen_blocker,
-                                               executor=blocking_executor,
-                                               workers=blocking_workers,
-                                               relation_names=relation_names)
-                self.cover = builder.build_total_cover(store)
-            else:
-                self.cover = build_total_cover(chosen_blocker, store,
-                                               relation_names=relation_names)
+            with collecting() as blocking_work:
+                if blocking_executor is not None or blocking_workers is not None:
+                    # Parallel cover pipeline: sharded canopy waves + sharded
+                    # boundary expansion, byte-identical to the serial build.
+                    if blocking_executor is None:
+                        blocking_executor = "processes"
+                    builder = ParallelCoverBuilder(chosen_blocker,
+                                                   executor=blocking_executor,
+                                                   workers=blocking_workers,
+                                                   relation_names=relation_names)
+                    self.cover = builder.build_total_cover(store)
+                else:
+                    self.cover = build_total_cover(chosen_blocker, store,
+                                                   relation_names=relation_names)
+            self.blocking_kernel_counters.merge(blocking_work)
             self._blocker = chosen_blocker
             self._relation_names = list(relation_names)
         self.cover.validate_covering(store)

@@ -1,0 +1,52 @@
+"""Batch scoring kernels over the interned int space.
+
+Vectorized counterparts of the hot scoring loops — TF-IDF cosine sweeps,
+Jaro-Winkler / Damerau-Levenshtein blocks, canopy scoring, MLN probe
+batches — with numpy as an *optional* accelerator (``pip install .[speed]``).
+The scalar code paths remain in place as the byte-identical parity
+reference; selection happens through a single capability probe
+(:func:`backend`) and every kernel falls back transparently, so installing
+or removing numpy never changes any cover, match set, or score — only the
+speed at which they are produced.
+"""
+
+from .backend import (
+    BACKEND_ENV_VAR,
+    VALID_CHOICES,
+    backend,
+    numpy_or_none,
+    set_backend,
+    use,
+)
+from .counters import KernelCounters, collecting, current, record
+from .names import BatchCanopyScorer, batch_canopy_scorer
+from .probes import ProbeIndex
+from .strings import (
+    PackedStrings,
+    damerau_levenshtein_block,
+    jaro_winkler_block,
+    jaro_winkler_bound_block,
+)
+from .tfidf import ADMISSION_MARGIN, TfIdfBlockScorer
+
+__all__ = [
+    "ADMISSION_MARGIN",
+    "BACKEND_ENV_VAR",
+    "BatchCanopyScorer",
+    "KernelCounters",
+    "PackedStrings",
+    "ProbeIndex",
+    "TfIdfBlockScorer",
+    "VALID_CHOICES",
+    "backend",
+    "batch_canopy_scorer",
+    "collecting",
+    "current",
+    "damerau_levenshtein_block",
+    "jaro_winkler_block",
+    "jaro_winkler_bound_block",
+    "numpy_or_none",
+    "record",
+    "set_backend",
+    "use",
+]

@@ -1,0 +1,154 @@
+"""Capability probe and backend selection for the batch scoring kernels.
+
+The kernels in this package have two interchangeable execution legs:
+
+* ``"numpy"`` — vectorized batch evaluation over packed arrays, available
+  when numpy is importable (the ``pip install .[speed]`` extra);
+* ``"python"`` — the existing scalar code paths, which remain the
+  byte-identical parity reference.
+
+Selection is a single process-wide probe (:func:`backend`), resolved in
+order: an explicit :func:`set_backend` call, the ``REPRO_KERNEL_BACKEND``
+environment variable, then auto-detection.  :func:`set_backend` also exports
+the choice through the environment variable so worker processes spawned by
+the process executor inherit it.  Because every numpy kernel is bit-exact
+against its scalar reference, a mixed fleet (say, a worker that resolves
+``numpy`` while the parent forced ``python``) still produces identical
+covers and matches — the env propagation is about predictable performance,
+not correctness.
+
+The first resolution emits one log line stating which backend was selected
+and why (numpy missing vs. forced), so production runs record what they ran
+on without log spam from the per-batch hot paths.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..exceptions import ExperimentError
+
+logger = logging.getLogger("repro.kernels")
+
+#: Environment variable consulted (and written by :func:`set_backend`) so
+#: spawned worker processes resolve the same backend as their parent.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+VALID_CHOICES = ("auto", "numpy", "python")
+
+_lock = threading.Lock()
+_forced: Optional[str] = None          # explicit set_backend() choice
+_numpy_module = None                   # cached module, or None when unprobed/missing
+_numpy_probed = False
+_announced: Optional[str] = None       # backend already logged, if any
+
+
+def _probe_numpy():
+    """Import numpy once; ``None`` when the accelerator is not installed."""
+    global _numpy_module, _numpy_probed
+    if not _numpy_probed:
+        try:
+            _numpy_module = importlib.import_module("numpy")
+        except ImportError:
+            _numpy_module = None
+        _numpy_probed = True
+    return _numpy_module
+
+
+def numpy_or_none():
+    """The numpy module when the *resolved* backend is ``"numpy"``, else ``None``.
+
+    Kernel call sites use this as their single gate: a non-``None`` return
+    both authorizes the vectorized leg and hands over the module.
+    """
+    if backend() == "numpy":
+        return _probe_numpy()
+    return None
+
+
+def _requested() -> str:
+    if _forced is not None:
+        return _forced
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if env in VALID_CHOICES:
+        return env
+    return "auto"
+
+
+def backend() -> str:
+    """Resolve the active kernel backend: ``"numpy"`` or ``"python"``.
+
+    The first call (and the first call after the selection changes) logs the
+    resolution and its reason exactly once.
+    """
+    global _announced
+    requested = _requested()
+    module = _probe_numpy()
+    if requested == "python":
+        resolved, reason = "python", "forced"
+    elif requested == "numpy":
+        if module is None:
+            raise ExperimentError(
+                "kernel backend 'numpy' was requested but numpy is not "
+                "installed; install the accelerator with 'pip install .[speed]' "
+                "or select --kernel-backend python")
+        resolved, reason = "numpy", "forced"
+    elif module is not None:
+        resolved, reason = "numpy", f"auto-detected numpy {module.__version__}"
+    else:
+        resolved, reason = "python", "numpy not installed"
+    if _announced != resolved:
+        with _lock:
+            if _announced != resolved:
+                logger.info("kernel backend: %s (%s)", resolved, reason)
+                _announced = resolved
+    return resolved
+
+
+def set_backend(name: Optional[str]) -> Optional[str]:
+    """Force the kernel backend process-wide; returns the previous forcing.
+
+    ``name`` is one of ``"auto"``/``"numpy"``/``"python"`` or ``None``
+    (``None`` and ``"auto"`` both clear the forcing).  The choice is also
+    exported through :data:`BACKEND_ENV_VAR` so process-executor workers
+    inherit it.  Forcing ``"numpy"`` on a machine without numpy raises
+    :class:`~repro.exceptions.ExperimentError` immediately.
+    """
+    global _forced
+    if name is not None and name not in VALID_CHOICES:
+        raise ExperimentError(
+            f"unknown kernel backend {name!r}; expected one of {VALID_CHOICES}")
+    previous = _forced
+    if name == "numpy" and _probe_numpy() is None:
+        raise ExperimentError(
+            "kernel backend 'numpy' was requested but numpy is not installed; "
+            "install the accelerator with 'pip install .[speed]'")
+    _forced = None if name in (None, "auto") else name
+    if _forced is None:
+        os.environ.pop(BACKEND_ENV_VAR, None)
+    else:
+        os.environ[BACKEND_ENV_VAR] = _forced
+    return previous
+
+
+@contextmanager
+def use(name: Optional[str]) -> Iterator[str]:
+    """Context manager scoping :func:`set_backend` — used by the parity tests."""
+    previous = set_backend(name)
+    try:
+        yield backend()
+    finally:
+        set_backend(previous if previous is not None else "auto")
+
+
+def _reset_probe_for_tests() -> None:
+    """Clear the cached numpy probe and announcement (test hook only)."""
+    global _numpy_module, _numpy_probed, _announced
+    _numpy_module = None
+    _numpy_probed = False
+    _announced = None

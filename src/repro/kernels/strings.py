@@ -1,0 +1,341 @@
+"""Banded batch string-distance kernels over packed byte arrays.
+
+One *center* string is scored against a whole block of candidate strings per
+call.  Candidates are packed once into contiguous arrays
+(:class:`PackedStrings`: flat codepoint array + offsets, plus lazily derived
+padded matrices, char-multiset count matrices and prefix slices), and each
+kernel is a fixed number of vectorized passes over the block instead of a
+Python loop over pairs:
+
+* :func:`jaro_winkler_block` — exact Jaro-Winkler.  The greedy match
+  assignment walks the center's characters (a handful of iterations, each
+  vectorized over the whole block); match and transposition counts are
+  integers, and the final formula replays the scalar expression order
+  operation for operation, so scores are **bit-identical** to
+  :func:`repro.similarity.jaro.jaro_winkler_similarity`.
+* :func:`damerau_levenshtein_block` — the three-row banded
+  Damerau-Levenshtein DP run column-wise over the block.  The
+  insertion-chain dependency inside a row is resolved with a min-plus prefix
+  scan, all in exact integer arithmetic; the optional band returns
+  ``max_distance + 1`` exactly like the scalar code.
+* :func:`jaro_winkler_bound_block` — the char-multiset upper bound of
+  :meth:`~repro.similarity.profiles.ProfiledNameScorer.jaro_winkler_upper_bound`
+  applied vectorized, used as the sound prefilter before any exact
+  computation.  Same expression order, hence bit-identical bounds and
+  therefore identical prune decisions.
+
+Every public function falls back to the scalar reference implementation when
+the resolved backend is ``"python"``, so callers never need their own gate
+and results are identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..similarity.jaro import jaro_winkler_similarity
+from ..similarity.levenshtein import damerau_levenshtein_distance
+from . import counters
+from .backend import numpy_or_none
+
+
+def _encode(text: str, np):
+    """Codepoints of ``text`` as an int64 array (utf-32 is the codepoint dump)."""
+    return np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32).astype(np.int64)
+
+
+class PackedStrings:
+    """A block of strings packed into contiguous arrays (offsets + flat codes).
+
+    ``flat`` holds every string's codepoints back to back; ``offsets[i]``/
+    ``lengths[i]`` delimit string ``i``.  The padded matrix, per-string
+    char-count matrix and 4-codepoint prefix slice are derived lazily — each
+    is one vectorized pass, paid once per pack and shared by every kernel
+    call against the block.
+    """
+
+    __slots__ = ("strings", "_np", "lengths", "offsets", "flat",
+                 "_matrix", "_alphabet", "_char_counts", "_prefix")
+
+    def __init__(self, strings: Sequence[str], np_module=None):
+        np = np_module if np_module is not None else numpy_or_none()
+        if np is None:
+            raise RuntimeError("PackedStrings requires the numpy kernel backend")
+        self._np = np
+        self.strings = list(strings)
+        self.lengths = np.fromiter((len(s) for s in self.strings), np.int64,
+                                   len(self.strings))
+        self.offsets = np.zeros(len(self.strings) + 1, dtype=np.int64)
+        np.cumsum(self.lengths, out=self.offsets[1:])
+        self.flat = _encode("".join(self.strings), np)
+        self._matrix = None
+        self._alphabet = None
+        self._char_counts = None
+        self._prefix = None
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    @property
+    def matrix(self):
+        """``(n, max_len)`` padded codepoint matrix; pad value is ``-1``."""
+        if self._matrix is None:
+            np = self._np
+            width = int(self.lengths.max()) if len(self.strings) else 0
+            matrix = np.full((len(self.strings), width), -1, dtype=np.int64)
+            mask = np.arange(width) < self.lengths[:, None]
+            matrix[mask] = self.flat
+            self._matrix = matrix
+        return self._matrix
+
+    @property
+    def char_counts(self):
+        """``(alphabet, counts)`` — per-string multiset counts over the block's alphabet."""
+        if self._char_counts is None:
+            np = self._np
+            alphabet, inverse = np.unique(self.flat, return_inverse=True)
+            counts = np.zeros((len(self.strings), len(alphabet)), dtype=np.int64)
+            row_of_flat = np.repeat(np.arange(len(self.strings)), self.lengths)
+            np.add.at(counts, (row_of_flat, inverse), 1)
+            self._alphabet = alphabet
+            self._char_counts = counts
+        return self._alphabet, self._char_counts
+
+    @property
+    def prefix4(self):
+        """First four codepoints of each string, ``-1``-padded (Winkler prefix)."""
+        if self._prefix is None:
+            self._prefix = self.matrix[:, :4] if self.matrix.shape[1] >= 4 \
+                else self._np.pad(self.matrix, ((0, 0), (0, 4 - self.matrix.shape[1])),
+                                  constant_values=-1)
+        return self._prefix
+
+
+def _jaro_match_counts(np, block, lb, a_codes):
+    """Greedy Jaro match/transposition counts of one center vs. a block.
+
+    Emulates the scalar two-loop assignment exactly: for each center
+    character in order, the first unmatched in-window equal character of
+    each candidate is claimed.  Integer outputs, so equality with the scalar
+    reference is exact rather than approximate.
+    """
+    n, width = block.shape
+    la = len(a_codes)
+    if la == 0 or width == 0:
+        zeros = np.zeros(n, dtype=np.int64)
+        return zeros, zeros
+    window = np.maximum(np.maximum(la, lb) // 2 - 1, 0)
+    positions = np.arange(width)
+    b_matched = np.zeros((n, width), dtype=bool)
+    matched_j = np.full((n, la), -1, dtype=np.int64)
+    for i in range(la):
+        low = i - window
+        high = np.minimum(i + window + 1, lb)
+        eligible = ((positions >= low[:, None]) & (positions < high[:, None])
+                    & ~b_matched & (block == a_codes[i]))
+        hit = eligible.any(axis=1)
+        first = eligible.argmax(axis=1)
+        hit_rows = np.nonzero(hit)[0]
+        b_matched[hit_rows, first[hit_rows]] = True
+        matched_j[hit_rows, i] = first[hit_rows]
+    matches = (matched_j >= 0).sum(axis=1)
+    # Transpositions: the center's matched characters in center order against
+    # the block's matched characters in candidate order.  A stable argsort on
+    # the "unmatched" flag compacts the matched center positions left without
+    # reordering them; sorting the matched candidate positions yields the
+    # candidate-side order.
+    order = np.argsort(matched_j < 0, axis=1, kind="stable")
+    a_seq = np.take_along_axis(np.broadcast_to(a_codes, (n, la)), order, axis=1)
+    js = np.sort(np.where(matched_j >= 0, matched_j, width), axis=1)
+    b_seq = np.take_along_axis(block, np.minimum(js, width - 1), axis=1)
+    valid = np.arange(la) < matches[:, None]
+    transpositions = ((a_seq != b_seq) & valid).sum(axis=1) // 2
+    return matches, transpositions
+
+
+def _jaro_winkler_rows(np, packed: PackedStrings, center: str, rows,
+                       prefix_weight: float = 0.1, max_prefix: int = 4):
+    """Exact Jaro-Winkler of ``center`` vs. the selected packed rows."""
+    block = packed.matrix[rows]
+    lb = packed.lengths[rows]
+    a_codes = _encode(center, np)
+    la = len(a_codes)
+    matches, transpositions = _jaro_match_counts(np, block, lb, a_codes)
+    # The formula below replays jaro_similarity()'s expression order exactly;
+    # every elementwise op is the same correctly-rounded IEEE operation the
+    # scalar path performs, so results are bit-identical.
+    safe_m = np.maximum(matches, 1)
+    safe_la = max(la, 1)
+    safe_lb = np.maximum(lb, 1)
+    jaro = (matches / safe_la + matches / safe_lb
+            + (matches - transpositions) / safe_m) / 3.0
+    jaro = np.where(matches == 0, 0.0, jaro)
+    keep = min(max_prefix, la, block.shape[1])
+    if keep > 0:
+        prefix = np.cumprod(block[:, :keep] == a_codes[:keep], axis=1).sum(axis=1)
+    else:
+        prefix = np.zeros(len(lb), dtype=np.int64)
+    score = jaro + prefix * prefix_weight * (1.0 - jaro)
+    score = np.minimum(score, 1.0)
+    # Scalar shortcut: identical strings (including two empties) score 1.0.
+    # Non-empty equal strings already come out of the formula as exactly 1.0,
+    # so only the empty-vs-empty row needs the override.
+    if la == 0:
+        score = np.where(lb == 0, 1.0, 0.0)
+    return score
+
+
+def _jaro_winkler_bound_rows(np, packed: PackedStrings, center: str, rows):
+    """The char-multiset Jaro-Winkler upper bound, vectorized over a block.
+
+    Bit-identical to
+    :meth:`ProfiledNameScorer.jaro_winkler_upper_bound`: the multiset
+    intersection size is integer, and the bound expression replays the
+    scalar operation order.
+    """
+    alphabet, counts = packed.char_counts
+    a_codes = _encode(center, np)
+    la = len(a_codes)
+    lb = packed.lengths[rows]
+    if la == 0:
+        return np.where(lb == 0, 1.0, 0.0)
+    center_codes, center_counts = np.unique(a_codes, return_counts=True)
+    slots = np.searchsorted(alphabet, center_codes)
+    in_alphabet = (slots < len(alphabet))
+    if len(alphabet):
+        in_alphabet &= alphabet[np.minimum(slots, len(alphabet) - 1)] == center_codes
+    projected = np.zeros(max(len(alphabet), 1), dtype=np.int64)
+    projected[slots[in_alphabet]] = center_counts[in_alphabet]
+    if len(alphabet):
+        matches_bound = np.minimum(projected[None, :len(alphabet)],
+                                   counts[rows]).sum(axis=1)
+    else:
+        matches_bound = np.zeros(len(lb), dtype=np.int64)
+    safe_lb = np.maximum(lb, 1)
+    jaro_bound = (matches_bound / la + matches_bound / safe_lb + 1.0) / 3.0
+    keep = min(4, la)
+    prefix_block = packed.prefix4[rows]
+    prefix = np.cumprod(prefix_block[:, :keep] == a_codes[:keep], axis=1).sum(axis=1)
+    bound = np.minimum(jaro_bound + prefix * 0.1 * (1.0 - jaro_bound), 1.0)
+    bound = np.where(matches_bound == 0, 0.0, bound)
+    # Equal strings hit the bound formula at exactly 1.0; only empty
+    # candidates (against the non-empty center) need the scalar's 0.0.
+    return np.where(lb == 0, 0.0, bound)
+
+
+def _damerau_rows(np, packed: PackedStrings, center: str, rows,
+                  max_distance: Optional[int] = None):
+    """Banded Damerau-Levenshtein of ``center`` vs. the selected rows.
+
+    Column-wise three-row DP over the whole block.  The insertion chain
+    (``current[i]`` depends on ``current[i-1]``) is a min-plus prefix scan:
+    subtracting the column ramp turns it into a plain running minimum.  All
+    arithmetic is integer, so equality with the scalar reference is exact;
+    the band is applied as a final clamp, which returns the same
+    ``max_distance + 1`` sentinel as the scalar early exit (row minima never
+    decrease, so exceeding the band early and finishing above it coincide).
+    """
+    if max_distance is not None and max_distance < 0:
+        raise ValueError("max_distance must be >= 0")
+    block = packed.matrix[rows]
+    lb = packed.lengths[rows]
+    a_codes = _encode(center, np)
+    la = len(a_codes)
+    n, width = block.shape
+    ramp = np.arange(la + 1)
+    previous = np.tile(ramp, (n, 1))
+    two_ago = None
+    for j in range(1, width + 1):
+        char_b = block[:, j - 1]
+        cost = (a_codes[None, :] != char_b[:, None]).astype(np.int64)
+        best = np.minimum(previous[:, 1:] + 1, previous[:, :-1] + cost)
+        if j >= 2 and la >= 2:
+            swap = ((a_codes[None, 1:] == block[:, j - 2][:, None])
+                    & (a_codes[None, :-1] == char_b[:, None]))
+            best[:, 1:] = np.where(swap, np.minimum(best[:, 1:], two_ago[:, :-2] + 1),
+                                   best[:, 1:])
+        seed = np.concatenate(
+            (np.full((n, 1), j, dtype=np.int64), best), axis=1) - ramp
+        current = np.minimum.accumulate(seed, axis=1) + ramp
+        # Rows whose candidate is already exhausted keep their final row.
+        live = (j <= lb)[:, None]
+        two_ago = np.where(live, previous, two_ago if two_ago is not None else previous)
+        previous = np.where(live, current, previous)
+    distance = previous[:, la]
+    if max_distance is not None:
+        distance = np.where(distance > max_distance, max_distance + 1, distance)
+    return distance
+
+
+def _resolve_block(candidates: Union[PackedStrings, Sequence[str]], np):
+    if isinstance(candidates, PackedStrings):
+        return candidates, None
+    return PackedStrings(candidates, np), None
+
+
+def jaro_winkler_block(center: str,
+                       candidates: Union[PackedStrings, Sequence[str]],
+                       rows=None, prefix_weight: float = 0.1,
+                       max_prefix: int = 4) -> List[float]:
+    """Jaro-Winkler of ``center`` against every candidate, batched.
+
+    Bit-identical to calling
+    :func:`~repro.similarity.jaro.jaro_winkler_similarity` per pair; falls
+    back to exactly that loop when the scalar backend is active.
+    """
+    np = numpy_or_none()
+    if np is None or (rows is None and not isinstance(candidates, PackedStrings)
+                      and len(candidates) == 0):
+        block = candidates.strings if isinstance(candidates, PackedStrings) \
+            else candidates
+        if rows is not None:
+            block = [block[row] for row in rows]
+        return [jaro_winkler_similarity(center, other, prefix_weight, max_prefix)
+                for other in block]
+    packed, _ = _resolve_block(candidates, np)
+    if rows is None:
+        rows = np.arange(len(packed))
+    counters.record(pairs_scored=len(rows), batches=1)
+    return _jaro_winkler_rows(np, packed, center, rows,
+                              prefix_weight, max_prefix).tolist()
+
+
+def jaro_winkler_bound_block(center: str,
+                             candidates: Union[PackedStrings, Sequence[str]],
+                             rows=None) -> List[float]:
+    """The vectorized char-multiset upper bound on Jaro-Winkler, per candidate."""
+    np = numpy_or_none()
+    if np is None:
+        from ..similarity.profiles import ProfiledNameScorer
+        scorer = ProfiledNameScorer({})
+        block = candidates.strings if isinstance(candidates, PackedStrings) \
+            else candidates
+        if rows is not None:
+            block = [block[row] for row in rows]
+        return [scorer.jaro_winkler_upper_bound(center, other) for other in block]
+    packed, _ = _resolve_block(candidates, np)
+    if rows is None:
+        rows = np.arange(len(packed))
+    counters.record(prefilter_checked=len(rows), batches=1)
+    return _jaro_winkler_bound_rows(np, packed, center, rows).tolist()
+
+
+def damerau_levenshtein_block(center: str,
+                              candidates: Union[PackedStrings, Sequence[str]],
+                              rows=None,
+                              max_distance: Optional[int] = None) -> List[int]:
+    """Banded Damerau-Levenshtein of ``center`` against every candidate."""
+    np = numpy_or_none()
+    if np is None:
+        block = candidates.strings if isinstance(candidates, PackedStrings) \
+            else candidates
+        if rows is not None:
+            block = [block[row] for row in rows]
+        return [damerau_levenshtein_distance(center, other, max_distance)
+                for other in block]
+    packed, _ = _resolve_block(candidates, np)
+    if rows is None:
+        rows = np.arange(len(packed))
+    counters.record(pairs_scored=len(rows), batches=1)
+    return [int(value) for value in
+            _damerau_rows(np, packed, center, rows, max_distance)]

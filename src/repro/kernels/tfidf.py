@@ -1,0 +1,112 @@
+"""Batched TF-IDF cosine: one-center-vs-corpus sweeps over CSR postings.
+
+:class:`TfIdfBlockScorer` is the kernel counterpart of
+:class:`~repro.similarity.tfidf.TfIdfPostingsIndex`.  At build time the
+dict-sparse vectors are laid out as per-token postings *arrays* (row indices
++ weights, CSC-style, rows in sorted-key order); a query then accumulates
+``weight_q · weight_d`` into a dense score vector with one fused
+scatter-add per query token — the whole corpus sweep is a handful of
+vectorized operations instead of a per-candidate Python loop.
+
+Parity contract: the accumulated scores are used only as a *sound
+prefilter*.  Candidates within ``ADMISSION_MARGIN`` of the threshold are
+re-scored exactly through :func:`~repro.similarity.tfidf.cosine_similarity`
+— the same code path the scalar index uses — so results are byte-identical
+to :meth:`TfIdfPostingsIndex.search`.  The margin dominates the worst-case
+float64 reassociation error of the accumulation by several orders of
+magnitude: with unit vectors, each accumulated score is a sum of at most a
+few hundred products bounded by 1, so the reassociation error is below
+``n·ε ≈ 10⁻¹³`` against a margin of ``10⁻⁹``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..similarity.tfidf import cosine_similarity
+from . import counters
+from .backend import numpy_or_none
+
+#: Sound admission slack for the vectorized accumulation (see module docs).
+ADMISSION_MARGIN = 1e-9
+
+
+class TfIdfBlockScorer:
+    """CSR/CSC postings arrays over a fixed corpus of L2-normalised vectors.
+
+    Built once per fit from the same ``key → {token: weight}`` mapping that
+    feeds :class:`~repro.similarity.tfidf.TfIdfPostingsIndex`; ``None`` is
+    returned by :meth:`maybe` when the numpy backend is inactive so call
+    sites keep a single gate.
+    """
+
+    __slots__ = ("keys", "_vectors", "_np", "_postings", "_corpus_size")
+
+    @classmethod
+    def maybe(cls, vectors: Mapping[str, Mapping[str, float]]
+              ) -> Optional["TfIdfBlockScorer"]:
+        np = numpy_or_none()
+        if np is None:
+            return None
+        return cls(vectors, np)
+
+    def __init__(self, vectors: Mapping[str, Mapping[str, float]], np_module=None):
+        np = np_module if np_module is not None else numpy_or_none()
+        if np is None:
+            raise RuntimeError("TfIdfBlockScorer requires the numpy kernel backend")
+        self._np = np
+        self.keys = sorted(vectors)
+        self._vectors = {key: vectors[key] for key in self.keys}
+        self._corpus_size = len(self.keys)
+        by_token: Dict[str, Tuple[List[int], List[float]]] = {}
+        for row, key in enumerate(self.keys):
+            for token, weight in self._vectors[key].items():
+                entry = by_token.setdefault(token, ([], []))
+                entry[0].append(row)
+                entry[1].append(weight)
+        self._postings = {
+            token: (np.asarray(rows, dtype=np.int64),
+                    np.asarray(weights, dtype=np.float64))
+            for token, (rows, weights) in by_token.items()
+        }
+
+    def __len__(self) -> int:
+        return self._corpus_size
+
+    def search(self, query: Mapping[str, float], threshold: float,
+               exclude: Optional[str] = None) -> List[Tuple[str, float]]:
+        """``(key, cosine)`` for every key with cosine ≥ ``threshold``.
+
+        Byte-identical to :meth:`TfIdfPostingsIndex.search` on the same
+        vectors: admission is sound (accumulated score within the margin of
+        the threshold, and strictly positive — a key sharing no token with
+        the query is never admitted, mirroring the scalar index), and every
+        admitted key is re-scored exactly.  Results are sorted by key.
+        """
+        if not query:
+            return []
+        np = self._np
+        scores = np.zeros(self._corpus_size, dtype=np.float64)
+        for token, weight in query.items():
+            entry = self._postings.get(token)
+            if entry is not None:
+                rows, doc_weights = entry
+                scores[rows] += weight * doc_weights
+        admitted = np.nonzero((scores >= threshold - ADMISSION_MARGIN)
+                              & (scores > 0.0))[0]
+        counters.record(batches=1, pairs_scored=int(admitted.size),
+                        prefilter_checked=self._corpus_size,
+                        prefilter_pruned=self._corpus_size - int(admitted.size))
+        results: List[Tuple[str, float]] = []
+        keys = self.keys
+        vectors = self._vectors
+        for row in admitted.tolist():
+            key = keys[row]
+            if key == exclude:
+                continue
+            # Exact re-score through the scalar arithmetic: pruning never
+            # shifts a borderline score across the threshold.
+            score = cosine_similarity(query, vectors[key])
+            if score >= threshold:
+                results.append((key, score))
+        return results

@@ -45,6 +45,7 @@ from ..core.messages import MaximalMessageSet
 from ..core.mmp import SCORE_TOLERANCE
 from ..datamodel import CompactStore, EntityPair, EntityStore, StoreView
 from ..exceptions import ExperimentError, MatcherError
+from ..kernels.counters import KernelCounters
 from ..matchers import TypeIIMatcher, TypeIMatcher
 from .executor import Executor, NamedTask, SerialExecutor, make_executor
 from .partitioner import Task, lpt_partition, makespan, random_partition, total_work
@@ -84,6 +85,10 @@ class GridRunResult:
     #: ``fault_policy`` was configured): attempts, retries, timeouts,
     #: speculative launches/wins, degraded tasks, pool rebuilds.
     round_reports: List[RoundReport] = field(default_factory=list)
+    #: Batch-kernel work aggregated over every committed map result of the
+    #: run (pairs scored, batch invocations, prefilter traffic).  All zeros
+    #: when the tasks resolved the scalar backend.
+    kernel_counters: KernelCounters = field(default_factory=KernelCounters)
 
     @property
     def round_count(self) -> int:
@@ -298,6 +303,7 @@ class GridExecutor:
 
         pair_origins: Dict[EntityPair, Tuple[str, int]] = {}
         round_reports: List[RoundReport] = []
+        run_kernel = KernelCounters()
         pop_report = getattr(self.executor, "pop_report", None)
         try:
             with self.executor:
@@ -345,16 +351,18 @@ class GridExecutor:
                                           negative=negative)
                         tasks.append((name, partial(execute_map_task, payload)))
                     results = self.executor.map_tasks(tasks)
+                    current_report: Optional[RoundReport] = None
                     if pop_report is not None:
-                        report = pop_report()
-                        if report is not None:
-                            round_reports.append(report)
+                        current_report = pop_report()
+                        if current_report is not None:
+                            round_reports.append(current_report)
 
                     # Reduce phase: merge per-neighborhood results in
                     # sorted-name order (independent of executor completion
                     # order), promote maximal messages (MMP only).
                     round_tasks: List[Task] = []
                     round_new: Set[EntityPair] = set()
+                    round_kernel = KernelCounters()
                     for name in sorted(results):
                         result: MapResult = results[name]
                         fresh = result.matches - evidence_snapshot
@@ -364,12 +372,22 @@ class GridExecutor:
                         round_new |= fresh
                         message_set.add_all(result.messages)
                         neighborhood_runs += result.matcher_calls
+                        round_kernel.merge(KernelCounters.from_tuple(
+                            getattr(result, "kernel_counters", ())))
                         round_tasks.append((name, result.duration))
                         if collect_results:
                             neighborhood_results[name] = result.matches
                         if warm_capable:
                             last_results[name] = result.matches
                     rounds.append(round_tasks)
+                    run_kernel.merge(round_kernel)
+                    if current_report is not None:
+                        current_report.kernel_pairs_scored += round_kernel.pairs_scored
+                        current_report.kernel_batches += round_kernel.batches
+                        current_report.kernel_prefilter_checked += \
+                            round_kernel.prefilter_checked
+                        current_report.kernel_prefilter_pruned += \
+                            round_kernel.prefilter_pruned
 
                     matches |= round_new
                     if self.scheme == "mmp":
@@ -398,6 +416,7 @@ class GridExecutor:
             neighborhood_results=neighborhood_results,
             pair_origins=pair_origins,
             round_reports=round_reports,
+            kernel_counters=run_kernel,
         )
 
     # ---------------------------------------------------------------- helpers

@@ -39,6 +39,7 @@ from typing import FrozenSet, Iterable, Tuple
 from ..core.maximal import compute_maximal_messages
 from ..core.messages import MaximalMessage
 from ..datamodel import EntityPair, EntityStore, Evidence
+from ..kernels.counters import collecting
 from ..matchers import TypeIMatcher
 from . import shared
 
@@ -98,6 +99,11 @@ class MapResult:
     messages: Tuple[MaximalMessage, ...]
     duration: float
     matcher_calls: int
+    #: Batch-kernel work done inside this task, as the compact tuple form of
+    #: :class:`~repro.kernels.counters.KernelCounters` (all zeros on the
+    #: scalar backend).  A tuple keeps the payload cheap to pickle and
+    #: forward-compatible (older results default to zeros).
+    kernel_counters: Tuple[int, int, int, int] = (0, 0, 0, 0)
 
 
 def validate_map_result(name: str, result: object) -> bool:
@@ -156,20 +162,22 @@ def execute_map_task(task: MapTask) -> MapResult:
     ``functools.partial(execute_map_task, task)`` to its workers.
     """
     started = time.perf_counter()
-    runner = _TaskRunner(task.matcher, task.store, warm_start=task.warm_start,
-                         negative=task.negative)
-    found = runner.run(task.name, positive=task.evidence)
-    messages: Tuple[MaximalMessage, ...] = ()
-    if task.compute_messages:
-        messages = tuple(compute_maximal_messages(
-            runner, task.name, evidence_matches=task.evidence,
-            unconditioned_output=found))
+    with collecting() as kernel_work:
+        runner = _TaskRunner(task.matcher, task.store, warm_start=task.warm_start,
+                             negative=task.negative)
+        found = runner.run(task.name, positive=task.evidence)
+        messages: Tuple[MaximalMessage, ...] = ()
+        if task.compute_messages:
+            messages = tuple(compute_maximal_messages(
+                runner, task.name, evidence_matches=task.evidence,
+                unconditioned_output=found))
     return MapResult(
         name=task.name,
         matches=found,
         messages=messages,
         duration=time.perf_counter() - started,
         matcher_calls=runner.calls,
+        kernel_counters=kernel_work.as_tuple(),
     )
 
 
@@ -183,24 +191,26 @@ def execute_compact_map_task(task: CompactMapTask) -> MapResult:
     for the same pickling reason.
     """
     started = time.perf_counter()
-    snapshot = shared.get_shared(task.snapshot)
-    matcher: TypeIMatcher = shared.get_shared(task.matcher_key)
-    view = shared.view_for(task.snapshot, task.members)
-    evidence = frozenset(snapshot.decode_pairs(task.evidence))
-    warm_start = frozenset(snapshot.decode_pairs(task.warm_start))
-    negative = frozenset(snapshot.decode_pairs(task.negative))
-    runner = _TaskRunner(matcher, view, warm_start=warm_start,
-                         negative=negative)
-    found = runner.run(task.name, positive=evidence)
-    messages: Tuple[MaximalMessage, ...] = ()
-    if task.compute_messages:
-        messages = tuple(compute_maximal_messages(
-            runner, task.name, evidence_matches=evidence,
-            unconditioned_output=found))
+    with collecting() as kernel_work:
+        snapshot = shared.get_shared(task.snapshot)
+        matcher: TypeIMatcher = shared.get_shared(task.matcher_key)
+        view = shared.view_for(task.snapshot, task.members)
+        evidence = frozenset(snapshot.decode_pairs(task.evidence))
+        warm_start = frozenset(snapshot.decode_pairs(task.warm_start))
+        negative = frozenset(snapshot.decode_pairs(task.negative))
+        runner = _TaskRunner(matcher, view, warm_start=warm_start,
+                             negative=negative)
+        found = runner.run(task.name, positive=evidence)
+        messages: Tuple[MaximalMessage, ...] = ()
+        if task.compute_messages:
+            messages = tuple(compute_maximal_messages(
+                runner, task.name, evidence_matches=evidence,
+                unconditioned_output=found))
     return MapResult(
         name=task.name,
         matches=found,
         messages=messages,
         duration=time.perf_counter() - started,
         matcher_calls=runner.calls,
+        kernel_counters=kernel_work.as_tuple(),
     )

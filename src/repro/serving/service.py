@@ -584,11 +584,16 @@ class MatchService:
         epoch = self._epoch
         session = self._session
         supervision = None
+        kernels = None
         if session is not None:
             inner = self._inner_session()
             history = getattr(inner, "supervision", None)
             if history is not None:
                 supervision = history.snapshot()
+            kernel_work = getattr(inner, "kernel_counters", None)
+            if kernel_work is not None:
+                from ..kernels.backend import backend
+                kernels = dict(kernel_work.as_dict(), backend=backend())
         return {
             "state": self.state,
             "mode": "read-only" if self.read_only else "read-write",
@@ -601,6 +606,7 @@ class MatchService:
             "delta_queue_depth": self._deltas.qsize(),
             "delta_queue_limit": self.config.delta_queue_limit,
             "supervision": supervision,
+            "kernels": kernels,
         }
 
     def health(self) -> Dict:

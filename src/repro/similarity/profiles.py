@@ -17,6 +17,7 @@ identical to covers built from raw strings — asserted by the parity tests in
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import (
     Callable,
     Dict,
@@ -250,6 +251,55 @@ class InternedProfileSpace:
         return set(self.interner.ids_of(indices))
 
 
+class LruMemo:
+    """A bounded memo dict with least-recently-used eviction.
+
+    The scorer memos used to grow without bound for the lifetime of a
+    scorer; on long-lived processes (streaming sessions, the serving layer)
+    that is a slow leak proportional to the number of *distinct* pairs ever
+    scored.  This applies the same discipline as
+    ``MLNMatcher.max_cached_stores``: hits refresh recency, inserts beyond
+    ``capacity`` evict the stalest entry.  Only the mapping operations the
+    scorers use are provided (``get``/``[]``/``in``/``len``).
+    """
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key, default=None):
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            return default
+        data.move_to_end(key)
+        return value
+
+    def __getitem__(self, key):
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
 class ProfiledNameScorer:
     """Memoized :class:`AuthorNameSimilarity` scoring over cached name parts.
 
@@ -263,16 +313,32 @@ class ProfiledNameScorer:
     reach the threshold is rejected without touching the first names.
     """
 
+    #: Default memo bound: far above any realistic distinct-pair count per
+    #: scorer, so eviction only engages on pathological long-lived scorers.
+    DEFAULT_MAX_MEMO_ENTRIES = 1 << 20
+
     def __init__(self, parts: Mapping[str, Tuple[str, str]],
-                 similarity: AuthorNameSimilarity = DEFAULT_AUTHOR_SIMILARITY):
+                 similarity: AuthorNameSimilarity = DEFAULT_AUTHOR_SIMILARITY,
+                 max_memo_entries: int = DEFAULT_MAX_MEMO_ENTRIES):
         #: ``entity_id → (norm_first, norm_last)`` — see
         #: :meth:`EntityProfileIndex.name_parts`.
         self.parts = parts
         self.similarity = similarity
-        self._last_memo: Dict[Tuple[str, str], float] = {}
-        self._last_bound: Dict[Tuple[str, str], float] = {}
-        self._first_memo: Dict[Tuple[str, str], float] = {}
-        self._char_counts: Dict[str, Dict[str, int]] = {}
+        self._last_memo = LruMemo(max_memo_entries)
+        self._last_bound = LruMemo(max_memo_entries)
+        self._first_memo = LruMemo(max_memo_entries)
+        self._char_counts = LruMemo(max_memo_entries)
+
+    def batch_scorer(self, postings: Optional[Mapping[str, Sequence]] = None):
+        """A kernel-backed batch canopy scorer over this scorer's parts.
+
+        The batch scorer replays the scalar arithmetic bit-exactly, so
+        batched and scalar sweeps can interleave freely.  Returns ``None``
+        when the numpy kernel backend is inactive, so call sites keep a
+        single gate between the two.
+        """
+        from ..kernels.names import batch_canopy_scorer
+        return batch_canopy_scorer(self, postings)
 
     def _char_counts_of(self, text: str) -> Dict[str, int]:
         counts = self._char_counts.get(text)
@@ -422,12 +488,33 @@ class ProfiledTfIdfScorer:
             index.profile(entity_id).text for entity_id in entity_ids)
         self._vectors: Dict[str, Mapping[str, float]] = dict(zip(entity_ids, vectors))
         self.postings = TfIdfPostingsIndex(self._vectors)
+        self._block = None
 
     def vector(self, entity_id: str) -> Mapping[str, float]:
         return self._vectors[entity_id]
 
+    def _block_scorer(self):
+        """The batched cosine kernel over this corpus, or ``None`` (scalar)."""
+        from ..kernels.backend import numpy_or_none
+        np = numpy_or_none()
+        if np is None:
+            return None
+        if self._block is None:
+            from ..kernels.tfidf import TfIdfBlockScorer
+            self._block = TfIdfBlockScorer(self._vectors, np)
+        return self._block
+
     def candidates_with_scores(self, entity_id: str,
                                threshold: float) -> List[Tuple[str, float]]:
-        """All ``(other_id, cosine)`` with cosine ≥ ``threshold``, sorted by id."""
+        """All ``(other_id, cosine)`` with cosine ≥ ``threshold``, sorted by id.
+
+        Byte-identical on either kernel backend: the batched scorer's dense
+        sweep is a sound prefilter and every admitted candidate is re-scored
+        through the same :func:`cosine_similarity` the postings index uses.
+        """
+        block = self._block_scorer()
+        if block is not None:
+            return block.search(self._vectors[entity_id], threshold,
+                                exclude=entity_id)
         return self.postings.search(self._vectors[entity_id], threshold,
                                     exclude=entity_id)

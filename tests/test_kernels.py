@@ -1,0 +1,578 @@
+"""Tests for the batch scoring kernel layer (``repro.kernels``).
+
+The contract under test is *byte-identical parity*: every numpy kernel must
+return exactly what the scalar reference path returns — same floats, same
+admitted sets, same covers, same matches — so the backend is purely a
+performance choice.  The suite therefore runs each kernel family under both
+backends and compares with ``==``, never ``approx``.
+
+The numpy-dependent tests skip cleanly when numpy is absent (the main CI
+matrix installs no numpy and doubles as the scalar leg); the explicit
+``no_numpy`` fixture additionally simulates the missing accelerator *with*
+numpy installed, so both resolution branches are exercised from one
+environment.
+"""
+
+import importlib
+import importlib.util
+import logging
+import random
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import CanopyBlocker, build_total_cover
+from repro.core import EMFramework
+from repro.datamodel import CompactStore, MatchSet
+from repro.datasets import GeneratorConfig, NameNoiseModel, generate_bibliography
+from repro.exceptions import ExperimentError
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    KernelCounters,
+    PackedStrings,
+    TfIdfBlockScorer,
+    backend,
+    collecting,
+    current,
+    damerau_levenshtein_block,
+    jaro_winkler_block,
+    jaro_winkler_bound_block,
+    numpy_or_none,
+    record,
+    set_backend,
+    use,
+)
+from repro.matchers import MLNMatcher, RulesMatcher
+from repro.mln import GreedyCollectiveInference, Grounder, GroundNetwork, database_from_store
+from repro.mln.state import WorldState
+from repro.similarity import (
+    ProfiledNameScorer,
+    TfIdfPostingsIndex,
+    TfIdfVectorizer,
+)
+from repro.similarity.profiles import LruMemo
+from tests.util import build_chain_store, leveled_rules
+
+backend_module = importlib.import_module("repro.kernels.backend")
+
+HAS_NUMPY = importlib.util.find_spec("numpy") is not None
+requires_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+#: Alphabet for generated name parts: ascii, accents, separators, repeats.
+NAME_ALPHABET = "abcdeosz éü'- "
+names = st.text(alphabet=NAME_ALPHABET, max_size=12)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_backend(monkeypatch):
+    """Every test starts (and leaves) with an unforced, env-free backend."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    previous = backend_module._forced
+    backend_module._forced = None
+    yield
+    backend_module._forced = previous
+
+
+class _NumpyImportBlocker:
+    """Meta-path finder that makes ``import numpy`` fail."""
+
+    def find_spec(self, fullname, path=None, target=None):
+        if fullname == "numpy" or fullname.startswith("numpy."):
+            raise ImportError("numpy import blocked by test fixture")
+        return None
+
+    def find_module(self, fullname, path=None):  # pragma: no cover - legacy hook
+        self.find_spec(fullname, path)
+        return None
+
+
+@pytest.fixture
+def no_numpy():
+    """Simulate an environment without numpy: hide cached modules, block
+    fresh imports, clear the probe cache; everything restored afterwards."""
+    hidden = {name: sys.modules.pop(name) for name in list(sys.modules)
+              if name == "numpy" or name.startswith("numpy.")}
+    blocker = _NumpyImportBlocker()
+    sys.meta_path.insert(0, blocker)
+    backend_module._reset_probe_for_tests()
+    try:
+        yield
+    finally:
+        sys.meta_path.remove(blocker)
+        sys.modules.update(hidden)
+        backend_module._reset_probe_for_tests()
+
+
+def small_dataset(seed: int, authors: int = 30):
+    config = GeneratorConfig(
+        n_authors=authors, n_papers=authors * 2, n_sources=2,
+        noise=NameNoiseModel(abbreviate_probability=0.5, typo_probability=0.2),
+        seed=seed,
+    )
+    return generate_bibliography(config)
+
+
+def cover_signature(cover):
+    return [(n.name, tuple(sorted(n.entity_ids))) for n in cover]
+
+
+# ------------------------------------------------------------------ backend
+class TestBackendResolution:
+    def test_force_python(self):
+        with use("python") as resolved:
+            assert resolved == "python"
+            assert backend() == "python"
+            assert numpy_or_none() is None
+
+    @requires_numpy
+    def test_auto_detects_numpy(self):
+        with use("auto"):
+            assert backend() == "numpy"
+            assert numpy_or_none() is not None
+
+    @requires_numpy
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert backend() == "python"
+
+    @requires_numpy
+    def test_forcing_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        with use("numpy"):
+            assert backend() == "numpy"
+
+    def test_set_backend_exports_env_var(self, monkeypatch):
+        import os
+        previous = set_backend("python")
+        try:
+            assert os.environ[BACKEND_ENV_VAR] == "python"
+            set_backend("auto")
+            assert BACKEND_ENV_VAR not in os.environ
+        finally:
+            set_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExperimentError):
+            set_backend("cuda")
+
+    def test_resolution_logged_once(self, caplog):
+        backend_module._announced = None
+        with caplog.at_level(logging.INFO, logger="repro.kernels"):
+            with use("python"):
+                backend()
+                backend()
+        lines = [r for r in caplog.records
+                 if "kernel backend" in r.getMessage()]
+        assert len(lines) == 1
+        assert "python" in lines[0].getMessage()
+
+    def test_without_numpy_auto_resolves_python(self, no_numpy):
+        assert backend() == "python"
+        assert numpy_or_none() is None
+
+    def test_without_numpy_forcing_numpy_raises(self, no_numpy):
+        with pytest.raises(ExperimentError):
+            set_backend("numpy")
+
+    def test_without_numpy_kernels_fall_back_to_scalar(self, no_numpy):
+        from repro.similarity.jaro import jaro_winkler_similarity
+        block = ["smith", "smyth", "jones", ""]
+        assert jaro_winkler_block("smith", block) == \
+            [jaro_winkler_similarity("smith", other) for other in block]
+
+    def test_without_numpy_cli_forcing_numpy_exits_2(self, no_numpy, capsys):
+        from repro.cli import main
+        # Backend resolution happens before the dataset is even opened.
+        rc = main(["cover", "--dataset", "missing.json",
+                   "--kernel-backend", "numpy"])
+        assert rc == 2
+        assert "numpy is not installed" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------- counters
+class TestKernelCounters:
+    def test_record_is_noop_without_collector(self):
+        assert current() is None
+        record(pairs_scored=5, batches=1)   # must not raise
+
+    def test_collecting_accumulates_and_nests(self):
+        with collecting() as outer:
+            record(pairs_scored=2, batches=1)
+            with collecting() as inner:
+                record(pairs_scored=3, batches=1,
+                       prefilter_checked=10, prefilter_pruned=4)
+            outer.merge(inner)
+        assert outer.pairs_scored == 5
+        assert outer.batches == 2
+        assert inner.prefilter_hit_rate == pytest.approx(0.4)
+
+    def test_tuple_roundtrip(self):
+        counters = KernelCounters(pairs_scored=7, batches=2,
+                                  prefilter_checked=11, prefilter_pruned=3)
+        assert KernelCounters.from_tuple(counters.as_tuple()) == counters
+        assert KernelCounters.from_tuple(()) == KernelCounters()
+
+    @requires_numpy
+    def test_kernels_report_work(self):
+        with use("numpy"), collecting() as work:
+            jaro_winkler_block("smith", ["smyth", "jones", "smith"])
+        assert work.batches == 1
+        assert work.pairs_scored == 3
+
+
+# ------------------------------------------------------------------ LruMemo
+class TestLruMemo:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LruMemo(0)
+
+    def test_eviction_is_least_recently_used(self):
+        memo = LruMemo(2)
+        memo["a"] = 1
+        memo["b"] = 2
+        assert memo["a"] == 1          # refreshes "a"
+        memo["c"] = 3                  # evicts "b", the stalest
+        assert "b" not in memo
+        assert memo.get("a") == 1
+        assert memo.get("c") == 3
+        assert len(memo) == 2
+
+    def test_overwrite_refreshes_instead_of_evicting(self):
+        memo = LruMemo(2)
+        memo["a"] = 1
+        memo["b"] = 2
+        memo["a"] = 10
+        memo["c"] = 3                  # evicts "b"
+        assert memo.get("a") == 10
+        assert "b" not in memo
+
+    def test_scorer_memos_are_bounded(self):
+        scorer = ProfiledNameScorer({}, max_memo_entries=4)
+        for i in range(32):
+            scorer._memo_jw(f"name{i}", "smith")
+        assert len(scorer._last_memo) == 4
+
+
+# ------------------------------------------------- string kernels (parity)
+@requires_numpy
+class TestStringKernelParity:
+    @settings(max_examples=30, deadline=None)
+    @given(center=names, block=st.lists(names, max_size=12))
+    def test_jaro_winkler_block_bit_identical(self, center, block):
+        with use("numpy"):
+            vectorized = jaro_winkler_block(center, block)
+        with use("python"):
+            scalar = jaro_winkler_block(center, block)
+        assert vectorized == scalar
+
+    @settings(max_examples=30, deadline=None)
+    @given(center=names, block=st.lists(names, max_size=12))
+    def test_bound_block_bit_identical_and_sound(self, center, block):
+        with use("numpy"):
+            bounds = jaro_winkler_bound_block(center, block)
+            exact = jaro_winkler_block(center, block)
+        with use("python"):
+            scalar = jaro_winkler_bound_block(center, block)
+        assert bounds == scalar
+        for bound, score in zip(bounds, exact):
+            assert bound >= score
+
+    @settings(max_examples=30, deadline=None)
+    @given(center=names, block=st.lists(names, max_size=10),
+           max_distance=st.sampled_from([None, 0, 1, 2, 3]))
+    def test_damerau_block_identical(self, center, block, max_distance):
+        with use("numpy"):
+            vectorized = damerau_levenshtein_block(center, block,
+                                                   max_distance=max_distance)
+        with use("python"):
+            scalar = damerau_levenshtein_block(center, block,
+                                               max_distance=max_distance)
+        assert vectorized == scalar
+
+    def test_packed_strings_reused_across_centers(self):
+        with use("numpy"):
+            block = ["smith", "smyth", "jones"]
+            packed = PackedStrings(block)
+            for center in ("smith", "smithe", "zzz"):
+                assert jaro_winkler_block(center, packed) == \
+                    jaro_winkler_block(center, block)
+
+    def test_row_subset_selects_candidates(self):
+        with use("numpy"):
+            block = ["smith", "smyth", "jones", "doe"]
+            full = jaro_winkler_block("smith", block)
+            subset = jaro_winkler_block("smith", PackedStrings(block),
+                                        rows=[1, 3])
+        assert subset == [full[1], full[3]]
+
+
+# ------------------------------------------------------ tf-idf block scorer
+@requires_numpy
+class TestTfIdfBlockParity:
+    def vectors(self, seed, docs=40):
+        rng = random.Random(seed)
+        words = ["john", "jon", "smith", "smyth", "mary", "jones",
+                 "li", "wei", "garcia", "j", "m"]
+        corpus = [" ".join(rng.sample(words, rng.randint(1, 4)))
+                  for _ in range(docs)]
+        vectorizer = TfIdfVectorizer().fit(corpus)
+        return {f"d{i}": vectorizer.transform(text)
+                for i, text in enumerate(corpus)}
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           threshold=st.sampled_from([0.05, 0.2, 0.5, 0.8]))
+    def test_search_identical_to_postings_index(self, seed, threshold):
+        vectors = self.vectors(seed)
+        reference = TfIdfPostingsIndex(vectors)
+        with use("numpy"):
+            block = TfIdfBlockScorer(vectors)
+            for key, query in vectors.items():
+                assert block.search(query, threshold, exclude=key) == \
+                    reference.search(query, threshold, exclude=key)
+
+    def test_empty_query_and_empty_corpus(self):
+        with use("numpy"):
+            block = TfIdfBlockScorer({"d0": {"a": 1.0}})
+            assert block.search({}, 0.1) == []
+            assert TfIdfBlockScorer({}).search({"a": 1.0}, 0.1) == []
+
+    def test_maybe_gated_on_backend(self):
+        with use("python"):
+            assert TfIdfBlockScorer.maybe({"d0": {"a": 1.0}}) is None
+        with use("numpy"):
+            assert TfIdfBlockScorer.maybe({"d0": {"a": 1.0}}) is not None
+
+
+# ------------------------------------------------- batched canopy sweeps
+@requires_numpy
+class TestBatchCanopyParity:
+    def scorer_and_postings(self, seed, entities=60):
+        rng = random.Random(seed)
+        firsts = ["john", "jon", "j", "mary", "m", "wei", ""]
+        lasts = ["smith", "smyth", "smithe", "jones", "jonas", "garcia", "li"]
+        parts = {f"e{i}": (rng.choice(firsts), rng.choice(lasts))
+                 for i in range(entities)}
+        postings = {}
+        for key, (_, last) in parts.items():
+            postings.setdefault(last, []).append(key)
+        return ProfiledNameScorer(parts), postings
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           threshold=st.sampled_from([0.6, 0.78, 0.9]))
+    def test_canopy_scores_identical_to_scalar(self, seed, threshold):
+        scorer, postings = self.scorer_and_postings(seed)
+        candidates = sorted(scorer.parts)
+        fresh, _ = self.scorer_and_postings(seed)
+        with use("numpy"):
+            batch = scorer.batch_scorer(postings)
+            assert batch is not None
+            for center in list(scorer.parts)[:10]:
+                batched = batch.canopy_scores(center, candidates, threshold)
+                scalar = list(fresh.canopy_scores(center, candidates, threshold))
+                assert sorted(batched) == sorted(scalar)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_candidate_rows_equal_postings_union(self, seed):
+        scorer, postings = self.scorer_and_postings(seed)
+        with use("numpy"):
+            batch = scorer.batch_scorer(postings)
+            for center, (_, last) in list(scorer.parts.items())[:10]:
+                rows = batch.candidate_rows([last], exclude=center)
+                got = {batch.keys[row] for row in rows.tolist()}
+                expected = set(postings.get(last, ())) - {center}
+                assert got == expected
+
+    def test_memo_state_shared_with_scalar_scorer(self):
+        scorer, postings = self.scorer_and_postings(3)
+        candidates = sorted(scorer.parts)
+        with use("numpy"):
+            batch = scorer.batch_scorer(postings)
+            center = candidates[0]
+            batched = batch.canopy_scores(center, candidates, 0.7)
+        with use("python"):
+            scalar = list(scorer.canopy_scores(center, candidates, 0.7))
+        # Interleaving batched and scalar sweeps over the same scorer must
+        # agree: the kernel reads and writes the scorer's own memos.
+        assert sorted(batched) == sorted(scalar)
+
+    def test_batch_scorer_none_on_scalar_backend(self):
+        scorer, postings = self.scorer_and_postings(0)
+        with use("python"):
+            assert scorer.batch_scorer(postings) is None
+
+
+# ------------------------------------------------------ batched probe sweep
+@requires_numpy
+class TestDeltaBatchParity:
+    def make_state(self, length=10, matched=0):
+        store = build_chain_store(length=length, level=2)
+        db = database_from_store(store)
+        network = GroundNetwork(
+            Grounder(leveled_rules(-2.28, -3.84, 12.75, 2.46)).ground(db),
+            db.candidates())
+        state = WorldState(network)
+        probes = sorted(network.touching_map)
+        for pair in probes[:matched]:
+            state.add(pair)
+        return state, probes
+
+    @settings(max_examples=10, deadline=None)
+    @given(matched=st.integers(min_value=0, max_value=6))
+    def test_delta_batch_bit_identical_to_delta_single(self, matched):
+        state, probes = self.make_state(matched=matched)
+        assert len(probes) >= 8   # large enough to take the vectorized leg
+        with use("numpy"):
+            batched = state.delta_batch(probes)
+        scalar = [state.delta_single(pair) for pair in probes]
+        assert batched == scalar
+
+    def test_small_batches_fall_back_to_scalar(self):
+        state, probes = self.make_state()
+        with use("numpy"), collecting() as work:
+            state.delta_batch(probes[:3])
+        assert work.batches == 0     # under _MIN_BATCH: scalar loop, no kernel
+
+    def test_mirror_tracks_mutations(self):
+        state, probes = self.make_state()
+        with use("numpy"):
+            before = state.delta_batch(probes)
+            added = next(p for p, d in zip(probes, before) if p not in state)
+            state.add(added)
+            after = state.delta_batch(probes)
+        assert after == [state.delta_single(pair) for pair in probes]
+        assert after[probes.index(added)] == 0.0
+
+    def test_copy_rebuilds_mirror_independently(self):
+        state, probes = self.make_state()
+        with use("numpy"):
+            state.delta_batch(probes)          # materialize the mirror
+            clone = state.copy()
+            clone.add(probes[0])
+            assert clone.delta_batch(probes) == \
+                [clone.delta_single(pair) for pair in probes]
+            assert state.delta_batch(probes) == \
+                [state.delta_single(pair) for pair in probes]
+
+    def test_greedy_inference_identical_across_backends(self):
+        store = build_chain_store(length=10, level=2)
+        db = database_from_store(store)
+        network = GroundNetwork(
+            Grounder(leveled_rules(-2.28, -3.84, 12.75, 2.46)).ground(db),
+            db.candidates())
+        results = {}
+        for name in ("numpy", "python"):
+            with use(name):
+                results[name] = GreedyCollectiveInference().infer(network)
+        assert results["numpy"].matches == results["python"].matches
+        assert results["numpy"].score == results["python"].score
+
+
+# ------------------------------------------------- end-to-end cover parity
+@requires_numpy
+class TestEndToEndParity:
+    def build_cover(self, store, **blocker_kwargs):
+        return build_total_cover(CanopyBlocker(**blocker_kwargs), store,
+                                 relation_names=["coauthor"])
+
+    def test_hepth_cover_identical_across_backends(self, hepth_dataset):
+        signatures = {}
+        for name in ("numpy", "python"):
+            with use(name):
+                signatures[name] = cover_signature(
+                    self.build_cover(hepth_dataset.store))
+        assert signatures["numpy"] == signatures["python"]
+
+    def test_compact_store_cover_identical_across_backends(self, hepth_dataset):
+        compact = CompactStore.from_store(hepth_dataset.store)
+        signatures = {}
+        for name in ("numpy", "python"):
+            with use(name):
+                signatures[name] = cover_signature(self.build_cover(compact))
+        assert signatures["numpy"] == signatures["python"]
+
+    def test_tfidf_mode_cover_identical_across_backends(self):
+        store = small_dataset(seed=11).store
+        signatures = {}
+        for name in ("numpy", "python"):
+            with use(name):
+                signatures[name] = cover_signature(
+                    CanopyBlocker(similarity="tfidf", loose_threshold=0.4,
+                                  tight_threshold=0.7).build_cover(store))
+        assert signatures["numpy"] == signatures["python"]
+
+    @pytest.mark.parametrize("scheme", ["no-mp", "smp"])
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_grid_matches_identical_across_backends(self, hepth_dataset,
+                                                    scheme, executor):
+        matches = {}
+        for name in ("numpy", "python"):
+            with use(name):
+                framework = EMFramework(MLNMatcher(), hepth_dataset.store,
+                                        blocker=CanopyBlocker(),
+                                        relation_names=["coauthor"])
+                result = framework.run_grid(scheme, executor=executor)
+                matches[name] = MatchSet(result.matches).transitive_closure().pairs
+        assert matches["numpy"] == matches["python"]
+
+    def test_sequential_schemes_identical_across_backends(self, hepth_dataset):
+        matches = {}
+        for name in ("numpy", "python"):
+            with use(name):
+                framework = EMFramework(RulesMatcher(), hepth_dataset.store,
+                                        blocker=CanopyBlocker(),
+                                        relation_names=["coauthor"])
+                result = framework.run("smp")
+                matches[name] = MatchSet(result.matches).transitive_closure().pairs
+        assert matches["numpy"] == matches["python"]
+
+
+# ------------------------------------------------------------- observability
+class TestKernelObservability:
+    @requires_numpy
+    def test_framework_records_blocking_kernel_work(self, hepth_dataset):
+        framework = EMFramework(MLNMatcher(), hepth_dataset.store,
+                                blocker=CanopyBlocker(),
+                                relation_names=["coauthor"],
+                                kernel_backend="numpy")
+        assert framework.kernel_backend == "numpy"
+        assert framework.blocking_kernel_counters.pairs_scored > 0
+        set_backend("auto")
+
+    def test_framework_python_backend_records_nothing(self, hepth_dataset):
+        framework = EMFramework(MLNMatcher(), hepth_dataset.store,
+                                blocker=CanopyBlocker(),
+                                relation_names=["coauthor"],
+                                kernel_backend="python")
+        assert framework.kernel_backend == "python"
+        assert framework.blocking_kernel_counters == KernelCounters()
+        set_backend("auto")
+
+    def test_grid_results_carry_kernel_counters(self, hepth_dataset):
+        from repro.parallel import FaultPolicy
+        from repro.parallel.resilience import RoundReport
+        framework = EMFramework(MLNMatcher(), hepth_dataset.store,
+                                blocker=CanopyBlocker(),
+                                relation_names=["coauthor"])
+        result = framework.run_grid("smp", executor="serial",
+                                    fault_policy=FaultPolicy())
+        assert result.kernel_counters == KernelCounters.from_tuple(
+            result.kernel_counters.as_tuple())
+        report = RoundReport.aggregate(result.round_reports)
+        assert report.kernel_pairs_scored == result.kernel_counters.pairs_scored
+        assert report.kernel_batches == result.kernel_counters.batches
+
+    def test_round_report_merges_kernel_fields(self):
+        from repro.parallel.resilience import RoundReport
+        merged = RoundReport(kernel_pairs_scored=3, kernel_batches=1)
+        merged.merge(RoundReport(kernel_pairs_scored=4, kernel_batches=2,
+                                 kernel_prefilter_checked=10,
+                                 kernel_prefilter_pruned=7))
+        assert merged.kernel_pairs_scored == 7
+        assert merged.kernel_batches == 3
+        assert merged.kernel_prefilter_checked == 10
+        assert merged.kernel_prefilter_pruned == 7
