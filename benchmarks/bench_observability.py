@@ -1,0 +1,257 @@
+"""Bench: the telemetry layer's disabled-path overhead, with match parity.
+
+The tracing contract of ``repro.obs`` is that an instrumented pipeline with
+tracing *off* costs nearly nothing: ``span()`` is one module-global check
+that returns a shared no-op object — no allocation, no clock read, no lock.
+This bench records, per workload:
+
+* **no-op span calls** — nanoseconds per ``with span(...)`` block with no
+  tracer installed, bare and with attribute kwargs (the kwargs dict is the
+  only unavoidable cost of the disabled path);
+* **pipeline overhead** — one instrumented end-to-end run (blocking + grid
+  + MLN inference) timed with tracing disabled and enabled, plus the
+  *estimated* disabled overhead: the spans the enabled run actually opened,
+  priced at the measured disabled ns/call, as a fraction of the disabled
+  runtime — this is what "near-zero disabled overhead" means, measured;
+* **parity** — the traced and untraced runs must produce identical match
+  sets (instrumentation must never change results).
+
+The CI gate (``--smoke --check``) requires exact match parity, a disabled
+span under its per-config nanosecond budget, and an estimated disabled
+overhead fraction under its per-config ceiling.  Enabled-vs-disabled
+wall-clock is recorded but not gated: it is noisy at smoke scales and the
+enabled path is allowed to cost something.
+
+Run standalone (this is what the CI smoke step does)::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke --check
+
+or through pytest together with the other benches::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q -s bench_observability.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.atomicio import atomic_write_json
+from repro.blocking import CanopyBlocker
+from repro.core import EMFramework
+from repro.datasets import dblp_like, hepth_like
+from repro.matchers import MLNMatcher
+from repro.obs import trace as obs_trace
+
+#: Named workload sizes.  ``smoke`` is the CI gate; ``default`` is the
+#: recorded trajectory point.  ``noop_budget_ns`` bounds one disabled
+#: ``with span(...)`` block; ``overhead_ceiling`` bounds the estimated
+#: disabled overhead fraction of the pipeline run.
+CONFIGS: Dict[str, Dict] = {
+    "smoke": {
+        "noop_iterations": 200_000,
+        "noop_budget_ns": 5_000,
+        "pipeline": ("hepth", 1.0),
+        "overhead_ceiling": 0.05,
+        "repeats": 1,
+    },
+    "default": {
+        "noop_iterations": 1_000_000,
+        "noop_budget_ns": 2_000,
+        "pipeline": ("dblp", 0.5),
+        "overhead_ceiling": 0.01,
+        "repeats": 2,
+    },
+}
+
+_PRESETS = {"hepth": hepth_like, "dblp": dblp_like}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_observability.json"
+
+
+# ---------------------------------------------------------- no-op span calls
+def time_noop_spans(iterations: int) -> Dict[str, float]:
+    """Nanoseconds per disabled ``with span(...)`` block (and an empty-loop
+    baseline, so the numbers can be read net of loop overhead)."""
+    assert not obs_trace.enabled(), "no-op timing needs tracing disabled"
+    span = obs_trace.span
+    loop = range(iterations)
+
+    started = time.perf_counter()
+    for _ in loop:
+        pass
+    empty = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in loop:
+        with span("bench.noop"):
+            pass
+    bare = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in loop:
+        with span("bench.noop", items=3, kind="bench"):
+            pass
+    with_attrs = time.perf_counter() - started
+
+    scale = 1e9 / iterations
+    return {
+        "iterations": iterations,
+        "empty_loop_ns": round(empty * scale, 1),
+        "bare_ns": round(bare * scale, 1),
+        "with_attrs_ns": round(with_attrs * scale, 1),
+    }
+
+
+# ---------------------------------------------------------- pipeline parity
+def run_pipeline(preset: str, scale: float, traced: bool) -> Dict:
+    """One instrumented end-to-end run: cover build + serial grid SMP.
+
+    Returns the match set, the wall-clock, and (traced runs) how many spans
+    the run recorded — the span count is what prices the disabled path.
+    """
+    dataset = _PRESETS[preset](scale=scale)
+    if traced:
+        obs_trace.enable()  # in-memory ring
+    else:
+        obs_trace.disable()
+    started = time.perf_counter()
+    framework = EMFramework(MLNMatcher(), dataset.store,
+                            blocker=CanopyBlocker(),
+                            relation_names=["coauthor"])
+    result = framework.run_grid("smp", executor="serial")
+    elapsed = time.perf_counter() - started
+    span_count = len(obs_trace.spans()) if traced else 0
+    obs_trace.disable()
+    return {
+        "matches": result.matches,
+        "seconds": elapsed,
+        "spans": span_count,
+    }
+
+
+def run_pipeline_workload(preset: str, scale: float, repeats: int,
+                          noop: Dict[str, float]) -> Dict:
+    disabled = min((run_pipeline(preset, scale, traced=False)
+                    for _ in range(repeats)), key=lambda run: run["seconds"])
+    enabled = min((run_pipeline(preset, scale, traced=True)
+                   for _ in range(repeats)), key=lambda run: run["seconds"])
+    # Price the disabled path: every span the enabled run opened would have
+    # cost one no-op check had tracing been off.
+    estimated_disabled = enabled["spans"] * noop["bare_ns"] * 1e-9
+    return {
+        "preset": preset,
+        "scale": scale,
+        "matches": len(disabled["matches"]),
+        "parity": disabled["matches"] == enabled["matches"],
+        "spans_recorded": enabled["spans"],
+        "seconds": {
+            "disabled": round(disabled["seconds"], 6),
+            "enabled": round(enabled["seconds"], 6),
+        },
+        "enabled_overhead_fraction": round(
+            (enabled["seconds"] - disabled["seconds"])
+            / disabled["seconds"], 4),
+        "estimated_disabled_overhead_seconds": round(estimated_disabled, 6),
+        "estimated_disabled_overhead_fraction": round(
+            estimated_disabled / disabled["seconds"], 6),
+    }
+
+
+# -------------------------------------------------------------------- bench
+def run_bench(config_name: str) -> Dict:
+    config = CONFIGS[config_name]
+    previous = obs_trace.tracer()
+    obs_trace.disable()
+    try:
+        noop = time_noop_spans(config["noop_iterations"])
+        preset, scale = config["pipeline"]
+        pipeline = run_pipeline_workload(preset, scale, config["repeats"],
+                                         noop)
+    finally:
+        if previous is not None:
+            obs_trace.enable(previous.path)
+    return {
+        "bench": "observability",
+        "config": {"name": config_name,
+                   "noop_budget_ns": config["noop_budget_ns"],
+                   "overhead_ceiling": config["overhead_ceiling"]},
+        "noop_span": noop,
+        "pipeline": pipeline,
+    }
+
+
+def check_report(report: Dict) -> List[str]:
+    """The CI gate: parity, the ns/call budget, the overhead ceiling."""
+    failures = []
+    budget = report["config"]["noop_budget_ns"]
+    ceiling = report["config"]["overhead_ceiling"]
+    bare = report["noop_span"]["bare_ns"]
+    if bare > budget:
+        failures.append(f"disabled span costs {bare}ns/call, over the "
+                        f"{budget}ns budget")
+    pipeline = report["pipeline"]
+    if not pipeline["parity"]:
+        failures.append(f"{pipeline['preset']}@{pipeline['scale']}: traced "
+                        "and untraced runs produced different match sets")
+    fraction = pipeline["estimated_disabled_overhead_fraction"]
+    if fraction > ceiling:
+        failures.append(f"{pipeline['preset']}@{pipeline['scale']}: "
+                        f"estimated disabled overhead {fraction:.4%} is over "
+                        f"the {ceiling:.2%} ceiling")
+    if pipeline["spans_recorded"] == 0:
+        failures.append(f"{pipeline['preset']}@{pipeline['scale']}: the "
+                        "traced run recorded no spans — instrumentation "
+                        "is not reaching the pipeline")
+    return failures
+
+
+# -------------------------------------------------------------- entrypoints
+def test_observability_overhead_smoke():
+    """Pytest entry point: the smoke config must pass the CI gate."""
+    report = run_bench("smoke")
+    print()
+    print(json.dumps(report, indent=2))
+    assert not check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="default")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorthand for --config smoke")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT}; gate-only runs "
+                             "with --check and no --output write nothing)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless parity holds and the "
+                             "disabled path clears its budgets")
+    args = parser.parse_args(argv)
+    config = "smoke" if args.smoke else args.config
+
+    report = run_bench(config)
+    print(json.dumps(report, indent=2))
+    # A bare --check run is a gate, not a recording — don't clobber the
+    # committed trajectory file with off-config numbers.
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        atomic_write_json(output, report, indent=2, trailing_newline=True)
+        print(f"\nwrote {output}")
+
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,9 +30,12 @@ Both produce bitwise-identical covers (``tests/test_profiles.py``).
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..datamodel import Entity, EntityStore
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from ..similarity.name_similarity import DEFAULT_AUTHOR_SIMILARITY
 from ..similarity.profiles import EntityProfileIndex, ProfiledNameScorer
 from ..similarity.tfidf import TfIdfVectorizer, cosine_similarity, default_tokenizer
@@ -44,6 +47,11 @@ CheapSimilarity = Callable[[Entity, Entity], float]
 
 #: ``canopy_fn(center_id) -> (canopy ids, removed ids)`` — one center's canopy.
 CanopyFn = Callable[[str], Tuple[Set[str], Set[str]]]
+
+_COVERS = obs_registry.counter(
+    "blocking_covers_total", "Canopy covers built")
+_COVER_SECONDS = obs_registry.histogram(
+    "blocking_cover_seconds", "Wall-clock of one canopy cover build")
 
 
 def author_name_cheap_similarity(a: Entity, b: Entity) -> float:
@@ -100,6 +108,16 @@ class CanopyBlocker(Blocker):
         self.text_attributes = tuple(text_attributes)
         self.seed = seed
         self.use_profiles = use_profiles
+        # The profiled scorer of the most recent canopy build (None until a
+        # profiled build ran): holds the LRU memos whose hit/miss stats
+        # :meth:`memo_stats` surfaces for the metrics registry.
+        self._last_scorer: Optional[ProfiledNameScorer] = None
+
+    def memo_stats(self) -> Dict[str, Dict[str, int]]:
+        """Scorer memo efficacy of the most recent build (empty if none)."""
+        if self._last_scorer is None:
+            return {}
+        return self._last_scorer.memo_stats()
 
     # ------------------------------------------------------------------ text
     def _entity_text(self, entity: Entity) -> str:
@@ -219,6 +237,7 @@ class CanopyBlocker(Blocker):
 
         if self.similarity is author_name_cheap_similarity:
             scorer = ProfiledNameScorer(pindex.name_parts())
+            self._last_scorer = scorer
             # Kernel-backed batch sweep when numpy is available; the batch
             # scorer replays the scalar arithmetic bit-exactly over interned
             # row caches, so the canopies are identical either way.
@@ -280,6 +299,7 @@ class CanopyBlocker(Blocker):
         index = self.profile_index(entities, profiles)
         space = index.interned_space(interner)
         scorer = ProfiledNameScorer(space.parts)
+        self._last_scorer = scorer
         batch = scorer.batch_scorer(space.postings)
         loose, tight = self.loose_threshold, self.tight_threshold
 
@@ -335,20 +355,28 @@ class CanopyBlocker(Blocker):
         :class:`~repro.similarity.profiles.EntityProfileIndex` covering
         exactly the clustered entities.
         """
-        entities = self.clustered_entities(store)
-        interner = self._interner_for(store)
-        if interner is not None:
-            canopies = self._interned_canopies(entities, interner, profiles)
-        else:
-            canopy_fn = self.canopy_factory(entities, profiles)
-            canopies = self.sweep(self.shuffled_order(entities), canopy_fn)
+        started = time.perf_counter()
+        with span("blocking.cover") as cover_span:
+            entities = self.clustered_entities(store)
+            cover_span.add_attrs(entities=len(entities))
+            interner = self._interner_for(store)
+            if interner is not None:
+                canopies = self._interned_canopies(entities, interner, profiles)
+            else:
+                canopy_fn = self.canopy_factory(entities, profiles)
+                canopies = self.sweep(self.shuffled_order(entities), canopy_fn)
 
-        # Safety net: any entity never assigned to a canopy becomes a singleton.
-        assigned: Set[str] = set()
-        for canopy in canopies:
-            assigned |= canopy
-        for entity in entities:
-            if entity.entity_id not in assigned:
-                canopies.append({entity.entity_id})
+            # Safety net: any entity never assigned to a canopy becomes a
+            # singleton.
+            assigned: Set[str] = set()
+            for canopy in canopies:
+                assigned |= canopy
+            for entity in entities:
+                if entity.entity_id not in assigned:
+                    canopies.append({entity.entity_id})
 
-        return self._make_neighborhoods(canopies, prefix="canopy-")
+            cover = self._make_neighborhoods(canopies, prefix="canopy-")
+            cover_span.add_attrs(neighborhoods=len(cover.names()))
+        _COVERS.inc()
+        _COVER_SECONDS.observe(time.perf_counter() - started)
+        return cover

@@ -80,6 +80,16 @@ def _add_kernel_argument(subparser: argparse.ArgumentParser) -> None:
              "either way)")
 
 
+def _add_trace_argument(subparser: argparse.ArgumentParser) -> None:
+    """The structured-tracing flag shared by the pipeline subcommands."""
+    subparser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="PATH",
+        help="record structured spans for the whole command (blocking, "
+             "grid rounds, worker tasks, inference, WAL, ...) and write "
+             "them to this JSONL file; summarize with 'repro-em "
+             "trace-report PATH'")
+
+
 def _add_fault_arguments(subparser: argparse.ArgumentParser) -> None:
     """Fault-tolerance flags shared by the grid-running subcommands."""
     subparser.add_argument(
@@ -144,6 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "'compact' snapshots the store into interned "
                             "flat arrays (the cover is identical)")
     _add_kernel_argument(cover)
+    _add_trace_argument(cover)
 
     match = subparsers.add_parser("match", help="run a matcher under a message-passing scheme")
     match.add_argument("--dataset", type=Path, required=True)
@@ -167,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("--output", type=Path, default=None,
                        help="write resolved clusters to this JSON file")
     _add_kernel_argument(match)
+    _add_trace_argument(match)
     _add_fault_arguments(match)
 
     trace = subparsers.add_parser(
@@ -223,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--output", type=Path, default=None,
                         help="write final resolved clusters to this JSON file")
     _add_kernel_argument(stream)
+    _add_trace_argument(stream)
     _add_fault_arguments(stream)
 
     recover = subparsers.add_parser(
@@ -243,6 +256,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write recovered resolved clusters to this "
                               "JSON file")
     _add_kernel_argument(recover)
+    _add_trace_argument(recover)
     _add_fault_arguments(recover)
 
     serve = subparsers.add_parser(
@@ -288,7 +302,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="drain and exit after this long (smoke/CI runs; "
                             "default: serve until SIGTERM/SIGINT)")
     _add_kernel_argument(serve)
+    _add_trace_argument(serve)
     _add_fault_arguments(serve)
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="summarize a JSONL trace written with --trace-out (top spans "
+             "by self-time, per-phase duration histograms)")
+    trace_report.add_argument("trace", type=Path,
+                              help="trace JSONL file written by --trace-out")
+    trace_report.add_argument("--top", type=int, default=15,
+                              help="rows in the top-spans table (default 15)")
 
     subparsers.add_parser("info", help="print version and registered similarity functions")
     return parser
@@ -595,6 +619,17 @@ def _write_clusters(matches, output: Optional[Path]) -> None:
     print(f"wrote {len(clusters)} clusters to {output}")
 
 
+def _command_trace_report(args: argparse.Namespace) -> int:
+    from .obs.report import format_report, load_trace, summarize
+    if args.top < 1:
+        raise SystemExit("--top must be >= 1")
+    if not args.trace.exists():
+        raise SystemExit(f"trace file not found: {args.trace}")
+    spans = load_trace(args.trace)
+    print(format_report(summarize(spans), top=args.top))
+    return 0
+
+
 def _command_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__}")
     print("presets: " + ", ".join(sorted(_PRESETS)))
@@ -611,6 +646,7 @@ _COMMANDS = {
     "stream-trace": _command_stream_trace,
     "recover": _command_recover,
     "serve": _command_serve,
+    "trace-report": _command_trace_report,
     "info": _command_info,
 }
 
@@ -635,6 +671,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ExperimentError as error:
             print(f"repro-em: {error}", file=sys.stderr)
             return 2
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        from .obs import trace as obs_trace
+        obs_trace.enable(trace_out)
     try:
         return _COMMANDS[args.command](args)
     except TaskFailedError as error:
@@ -649,6 +689,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ServiceError as error:
         print(f"repro-em: service error: {error}", file=sys.stderr)
         return EXIT_SERVICE_ERROR
+    finally:
+        # The trace is flushed even when the command failed — a trace of
+        # the failing run is exactly what one wants to look at.
+        if trace_out is not None:
+            written = obs_trace.export_jsonl()
+            if written is not None:
+                print(f"trace written to {written}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -23,7 +23,10 @@ from typing import Dict, FrozenSet, Iterable, Optional, Union
 from ..blocking import Blocker, CanopyBlocker, Cover, ParallelCoverBuilder, build_total_cover
 from ..datamodel import CompactStore, EntityPair, EntityStore, Evidence, MatchSet
 from ..exceptions import ExperimentError, MatcherError
+from ..kernels.counters import fold_into_registry
 from ..matchers import TypeIIMatcher, TypeIMatcher
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from .full import FullRun
 from .mmp import MaximalMessagePassing
 from .nomp import NoMessagePassing
@@ -41,6 +44,25 @@ SCHEMES = ("no-mp", "smp", "mmp", "full")
 #: :class:`~repro.datamodel.CompactStore` — interned ids, flat arrays,
 #: zero-copy ``restrict()`` views, and broadcast-once grid payloads.
 STORE_BACKENDS = ("dict", "compact")
+
+
+def _fold_blocking_telemetry(blocker, blocking_work) -> None:
+    """Surface one cover build's local tallies through the registry.
+
+    Scorer memos keep plain-int hit/miss counts (the per-pair path is far
+    too hot for registry updates); each build uses a fresh scorer, so the
+    lifetime stats of that scorer are exactly this build's delta.
+    """
+    memo_stats = getattr(blocker, "memo_stats", None)
+    if memo_stats is not None:
+        hits = obs_registry.counter(
+            "lru_cache_hits_total", "LRU cache hits", labels=("cache",))
+        misses = obs_registry.counter(
+            "lru_cache_misses_total", "LRU cache misses", labels=("cache",))
+        for cache, stats in memo_stats().items():
+            hits.inc(stats["hits"], cache=cache)
+            misses.inc(stats["misses"], cache=cache)
+    fold_into_registry(blocking_work)
 
 
 class EMFramework:
@@ -94,8 +116,12 @@ class EMFramework:
                 # other relational evidence pass relation_names explicitly.
                 relation_names = ["coauthor"] if store.has_relation("coauthor") \
                     else store.relation_names()
-            with collecting() as blocking_work:
-                if blocking_executor is not None or blocking_workers is not None:
+            parallel_blocking = blocking_executor is not None \
+                or blocking_workers is not None
+            with span("blocking.total_cover",
+                      parallel=parallel_blocking) as cover_span, \
+                    collecting() as blocking_work:
+                if parallel_blocking:
                     # Parallel cover pipeline: sharded canopy waves + sharded
                     # boundary expansion, byte-identical to the serial build.
                     if blocking_executor is None:
@@ -108,7 +134,9 @@ class EMFramework:
                 else:
                     self.cover = build_total_cover(chosen_blocker, store,
                                                    relation_names=relation_names)
+                cover_span.add_attrs(neighborhoods=len(self.cover.names()))
             self.blocking_kernel_counters.merge(blocking_work)
+            _fold_blocking_telemetry(chosen_blocker, blocking_work)
             self._blocker = chosen_blocker
             self._relation_names = list(relation_names)
         self.cover.validate_covering(store)

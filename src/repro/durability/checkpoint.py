@@ -23,12 +23,20 @@ import json
 import os
 import re
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..atomicio import fsync_directory
 from ..exceptions import RecoveryError
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from .crashpoints import crash_point
+
+_CHECKPOINTS = obs_registry.counter(
+    "checkpoints_total", "Checkpoint generations atomically published")
+_CHECKPOINT_SECONDS = obs_registry.histogram(
+    "checkpoint_save_seconds", "Wall-clock time to publish one checkpoint")
 
 PathLike = Union[str, Path]
 
@@ -81,33 +89,38 @@ class CheckpointManager:
     # --------------------------------------------------------------- saving
     def save(self, payload: Dict, batch_id: int) -> Path:
         """Atomically publish ``payload`` as the checkpoint for ``batch_id``."""
-        crash_point("checkpoint.begin")
-        self.directory.mkdir(parents=True, exist_ok=True)
-        target = self.path_for(batch_id)
-        data = _wrap(dict(payload,
-                          format_version=CHECKPOINT_FORMAT_VERSION,
-                          batch_id=batch_id))
-        fd, temp_name = tempfile.mkstemp(dir=str(self.directory),
-                                         prefix=f".{target.name}.",
-                                         suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-                handle.flush()
-                if self.fsync:
-                    os.fsync(handle.fileno())
-            crash_point("checkpoint.temp_written")
-            os.replace(temp_name, target)
-        except BaseException:
+        started = time.perf_counter()
+        with span("checkpoint.save", batch_id=batch_id) as save_span:
+            crash_point("checkpoint.begin")
+            self.directory.mkdir(parents=True, exist_ok=True)
+            target = self.path_for(batch_id)
+            data = _wrap(dict(payload,
+                              format_version=CHECKPOINT_FORMAT_VERSION,
+                              batch_id=batch_id))
+            save_span.add_attrs(bytes=len(data))
+            fd, temp_name = tempfile.mkstemp(dir=str(self.directory),
+                                             prefix=f".{target.name}.",
+                                             suffix=".tmp")
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        if self.fsync:
-            fsync_directory(self.directory)
-        crash_point("checkpoint.published")
-        self._prune()
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+                crash_point("checkpoint.temp_written")
+                os.replace(temp_name, target)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            if self.fsync:
+                fsync_directory(self.directory)
+            crash_point("checkpoint.published")
+            self._prune()
+        _CHECKPOINTS.inc()
+        _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
         return target
 
     def _prune(self) -> None:

@@ -38,6 +38,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Union
 from ..datamodel import CompactStore, EntityPair
 from ..datamodel.serialize import store_from_dict, store_to_dict
 from ..exceptions import DurabilityError, RecoveryError
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from ..streaming.deltas import ChangeBatch
 from ..streaming.runner import BatchResult, StreamSession
 from .checkpoint import CheckpointManager
@@ -47,6 +49,11 @@ from .wal import DeltaWAL
 PathLike = Union[str, Path]
 
 WAL_FILENAME = "wal.log"
+
+_RECOVERIES = obs_registry.counter(
+    "durable_recoveries_total", "Successful crash recoveries")
+_REPLAYED_BATCHES = obs_registry.counter(
+    "wal_replayed_batches_total", "WAL tail batches replayed during recovery")
 
 
 class DurableStreamSession:
@@ -134,14 +141,16 @@ class DurableStreamSession:
         """Log the batch (the commit point), then apply it in memory."""
         self._applying = True
         try:
-            if not self.session.started:
-                self.start()
-            batch_id = self.session.batches_applied + 1
-            self.wal.append(batch_id, batch)
-            result = self.session.apply(batch)
-            if self.checkpoint_every and \
-                    self.session.batches_applied % self.checkpoint_every == 0:
-                self.checkpoint()
+            with span("durable.apply", ops=len(batch)) as apply_span:
+                if not self.session.started:
+                    self.start()
+                batch_id = self.session.batches_applied + 1
+                apply_span.add_attrs(batch_id=batch_id)
+                self.wal.append(batch_id, batch)
+                result = self.session.apply(batch)
+                if self.checkpoint_every and \
+                        self.session.batches_applied % self.checkpoint_every == 0:
+                    self.checkpoint()
         finally:
             self._applying = False
         # A signal that arrived mid-batch deferred to here: the batch is
@@ -250,19 +259,24 @@ class DurableStreamSession:
 
         wal = DeltaWAL.open(directory / WAL_FILENAME, fsync=fsync)
         replayed = 0
-        for batch_id, batch in wal.scan():
-            if batch_id <= checkpoint_id:
-                # The checkpoint is newer than this record (a crash landed
-                # between checkpoint publish and WAL truncation): the batch
-                # is already folded into the snapshot, skip it.
-                continue
-            expected = session.batches_applied + 1
-            if batch_id != expected:
-                raise RecoveryError(
-                    f"WAL tail is gapped: expected batch {expected} next, "
-                    f"found {batch_id} (checkpoint at {checkpoint_id})")
-            session.apply(batch)
-            replayed += 1
+        with span("durable.recover", checkpoint=checkpoint_id) as recover_span:
+            for batch_id, batch in wal.scan():
+                if batch_id <= checkpoint_id:
+                    # The checkpoint is newer than this record (a crash
+                    # landed between checkpoint publish and WAL truncation):
+                    # the batch is already folded into the snapshot, skip it.
+                    continue
+                expected = session.batches_applied + 1
+                if batch_id != expected:
+                    raise RecoveryError(
+                        f"WAL tail is gapped: expected batch {expected} "
+                        f"next, found {batch_id} (checkpoint at "
+                        f"{checkpoint_id})")
+                session.apply(batch)
+                replayed += 1
+            recover_span.add_attrs(replayed=replayed)
+        _RECOVERIES.inc()
+        _REPLAYED_BATCHES.inc(replayed)
 
         durable = cls(session, directory, checkpoint_every=checkpoint_every,
                       fsync=fsync, keep_checkpoints=keep_checkpoints,

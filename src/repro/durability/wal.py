@@ -31,14 +31,24 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from ..atomicio import atomic_write_bytes, fsync_directory
 from ..exceptions import DurabilityError, RecoveryError
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from ..streaming.deltas import ChangeBatch, op_from_dict, op_to_dict
 from .crashpoints import crash_point
+
+_WAL_APPENDS = obs_registry.counter(
+    "wal_appends_total", "Change batches committed to the write-ahead log")
+_WAL_BYTES = obs_registry.counter(
+    "wal_appended_bytes_total", "Record bytes committed to the write-ahead log")
+_WAL_APPEND_SECONDS = obs_registry.histogram(
+    "wal_append_seconds", "Wall-clock time of one durable WAL append")
 
 PathLike = Union[str, Path]
 
@@ -133,20 +143,25 @@ class DeltaWAL:
                 f"{self._last_batch_id}")
         handle = self._ensure_handle()
         record = _encode_record(batch_id, batch)
-        crash_point("wal.append.before")
-        # Written in two slices with a crash seam between them so the fault
-        # harness can produce a genuinely torn record on disk.
-        split = len(record) // 2
-        handle.write(record[:split])
-        handle.flush()
-        crash_point("wal.append.torn")
-        handle.write(record[split:])
-        handle.flush()
-        crash_point("wal.append.unsynced")
-        if self.fsync:
-            os.fsync(handle.fileno())
-        self._last_batch_id = batch_id
-        crash_point("wal.append.committed")
+        started = time.perf_counter()
+        with span("wal.append", batch_id=batch_id, bytes=len(record)):
+            crash_point("wal.append.before")
+            # Written in two slices with a crash seam between them so the
+            # fault harness can produce a genuinely torn record on disk.
+            split = len(record) // 2
+            handle.write(record[:split])
+            handle.flush()
+            crash_point("wal.append.torn")
+            handle.write(record[split:])
+            handle.flush()
+            crash_point("wal.append.unsynced")
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._last_batch_id = batch_id
+            crash_point("wal.append.committed")
+        _WAL_APPENDS.inc()
+        _WAL_BYTES.inc(len(record))
+        _WAL_APPEND_SECONDS.observe(time.perf_counter() - started)
 
     # ------------------------------------------------------------- scanning
     def _scan_file(self) -> Tuple[List[Tuple[int, ChangeBatch]], int]:

@@ -1,16 +1,32 @@
-"""Small timing utilities shared by the experiment harness and the benches."""
+"""Small timing utilities shared by the experiment harness and the benches.
+
+:class:`Stopwatch` predates the telemetry layer; it is now a thin adapter
+over it.  Every ``measure()`` block still appends into the per-instance
+``durations`` dict (the public interface the harness reads), and *also*
+opens a :func:`repro.obs.trace.span` named ``stopwatch.<label>`` and feeds a
+shared ``stopwatch_seconds{label=...}`` histogram in the process-wide
+registry — so harness timings show up in traces and ``/metrics`` for free.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..obs import registry as obs_registry
+from ..obs.trace import span
+
+_STOPWATCH_SECONDS = obs_registry.histogram(
+    "stopwatch_seconds", "Durations recorded through Stopwatch.measure",
+    labels=("label",))
+
 
 @dataclass
 class Stopwatch:
-    """Accumulates named durations.
+    """Accumulates named durations (thread-safe).
 
     >>> watch = Stopwatch()
     >>> with watch.measure("blocking"):
@@ -19,25 +35,34 @@ class Stopwatch:
     """
 
     durations: Dict[str, List[float]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     @contextmanager
     def measure(self, label: str) -> Iterator[None]:
         started = time.perf_counter()
         try:
-            yield
+            with span(f"stopwatch.{label}"):
+                yield
         finally:
             elapsed = time.perf_counter() - started
-            self.durations.setdefault(label, []).append(elapsed)
+            with self._lock:
+                self.durations.setdefault(label, []).append(elapsed)
+            _STOPWATCH_SECONDS.observe(elapsed, label=label)
 
     def total(self, label: str) -> float:
         """Total seconds recorded under ``label`` (0.0 when never measured)."""
-        return sum(self.durations.get(label, ()))
+        with self._lock:
+            return sum(self.durations.get(label, ()))
 
     def count(self, label: str) -> int:
-        return len(self.durations.get(label, ()))
+        with self._lock:
+            return len(self.durations.get(label, ()))
 
     def summary(self) -> Dict[str, float]:
-        return {label: sum(values) for label, values in self.durations.items()}
+        with self._lock:
+            return {label: sum(values)
+                    for label, values in self.durations.items()}
 
 
 def time_call(function, *args, **kwargs):

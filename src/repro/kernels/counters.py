@@ -14,6 +14,15 @@ The counters ride back to the driver on
 :class:`~repro.parallel.resilience.RoundReport` and per run onto
 :class:`~repro.parallel.grid.GridRunResult`, and surface in the serving
 layer's ``/metrics`` document.
+
+This module is the special-cased ancestor of the general telemetry layer in
+:mod:`repro.obs.registry`: the same capture-and-merge idea (thread-local
+scope in the worker, picklable deltas on the result, fold in the driver),
+generalized there to arbitrary named counters, gauges and histograms.  The
+kernel tallies stay on this dedicated hot path — a handful of plain int adds
+per batch call — and are folded into the process-wide registry at phase
+boundaries via :func:`fold_into_registry` (the grid and the blocking phase
+call it after merging each round's counters).
 """
 
 from __future__ import annotations
@@ -110,3 +119,31 @@ def record(pairs_scored: int = 0, batches: int = 0,
     counters = current()
     if counters is not None:
         counters.add(pairs_scored, batches, prefilter_checked, prefilter_pruned)
+
+
+def fold_into_registry(counters: KernelCounters) -> None:
+    """Add a scope's tallies to the process-wide ``kernel_*_total`` counters.
+
+    Called at phase boundaries (after a grid round's merge, after a blocking
+    cover build) so the registry accumulates across runs without taxing the
+    per-batch hot path.  Registry handles are get-or-create, so repeated
+    folds hit the same four counters.
+    """
+    from ..obs import registry as obs_registry
+    registry = obs_registry.registry()
+    registry.counter(
+        "kernel_pairs_scored_total",
+        "Candidate pairs whose score a batch kernel evaluated",
+    ).inc(counters.pairs_scored)
+    registry.counter(
+        "kernel_batches_total",
+        "Vectorized batch kernel invocations",
+    ).inc(counters.batches)
+    registry.counter(
+        "kernel_prefilter_checked_total",
+        "Candidates examined by the vectorized prefilter",
+    ).inc(counters.prefilter_checked)
+    registry.counter(
+        "kernel_prefilter_pruned_total",
+        "Candidates eliminated by the prefilter before exact scoring",
+    ).inc(counters.prefilter_pruned)

@@ -75,6 +75,11 @@ class MLNMatcher(TypeIIMatcher):
         #: Number of times :meth:`match` has been invoked (used by the
         #: experiment harness to report matcher work).
         self.match_calls = 0
+        # Cheap cache-efficacy tallies ([hits, misses] per cache — plain int
+        # bumps, no lock needed under the GIL).  The grid folds the deltas
+        # into the metrics registry via :meth:`consume_cache_stats`.
+        self._cache_stats = {"mln_network": [0, 0], "mln_result": [0, 0]}
+        self._cache_consumed = {"mln_network": [0, 0], "mln_result": [0, 0]}
 
     # -------------------------------------------------------------- networks
     def network_for(self, store: EntityStore) -> GroundNetwork:
@@ -85,7 +90,9 @@ class MLNMatcher(TypeIIMatcher):
         cached = self._network_cache.get(key)
         if cached is not None and cached[0] is store:
             self._network_cache.move_to_end(key)
+            self._cache_stats["mln_network"][0] += 1
             return cached[1]
+        self._cache_stats["mln_network"][1] += 1
         network = self.mln.ground(store)
         self._network_cache[key] = (store, network)
         while len(self._network_cache) > self.max_cached_stores:
@@ -100,7 +107,9 @@ class MLNMatcher(TypeIIMatcher):
         cached = self._result_cache.get(key)
         if cached is not None and cached[0] is store:
             self._result_cache.move_to_end(key)
+            self._cache_stats["mln_result"][0] += 1
             return cached[1]
+        self._cache_stats["mln_result"][1] += 1
         fresh = WarmStartCache()
         self._result_cache[key] = (store, fresh)
         while len(self._result_cache) > self.max_cached_stores:
@@ -111,14 +120,44 @@ class MLNMatcher(TypeIIMatcher):
         self._network_cache.clear()
         self._result_cache.clear()
 
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Lifetime cache efficacy per internal LRU cache."""
+        network_hits, network_misses = self._cache_stats["mln_network"]
+        result_hits, result_misses = self._cache_stats["mln_result"]
+        return {
+            "mln_network": {"hits": network_hits, "misses": network_misses,
+                            "entries": len(self._network_cache)},
+            "mln_result": {"hits": result_hits, "misses": result_misses,
+                           "entries": len(self._result_cache)},
+        }
+
+    def consume_cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hits/misses since the last consume (registry-fold protocol).
+
+        The grid calls this after each run and increments the process-wide
+        ``lru_cache_{hits,misses}_total`` counters by the returned deltas, so
+        repeated runs accumulate without double counting.
+        """
+        deltas = {}
+        for name, (hits, misses) in self._cache_stats.items():
+            seen_hits, seen_misses = self._cache_consumed[name]
+            deltas[name] = {"hits": hits - seen_hits,
+                            "misses": misses - seen_misses}
+            self._cache_consumed[name] = [hits, misses]
+        return deltas
+
     # -------------------------------------------------------------- pickling
     def __getstate__(self):
         # Both caches are keyed on id(store), which is meaningless in another
         # process, and shipping ground networks would dwarf the task payload —
-        # the worker re-grounds its (small) neighborhood store.
+        # the worker re-grounds its (small) neighborhood store.  The tallies
+        # restart too: a worker copy's stats describe only its own caches.
         state = self.__dict__.copy()
         state["_network_cache"] = OrderedDict()
         state["_result_cache"] = OrderedDict()
+        state["_cache_stats"] = {"mln_network": [0, 0], "mln_result": [0, 0]}
+        state["_cache_consumed"] = {"mln_network": [0, 0],
+                                    "mln_result": [0, 0]}
         return state
 
     # -------------------------------------------------------------- matching

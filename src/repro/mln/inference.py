@@ -45,11 +45,18 @@ from typing import Deque, FrozenSet, Iterable, List, Optional, Sequence, Set, Tu
 
 from ..datamodel import EntityPair
 from ..exceptions import InferenceError
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from .network import GroundNetwork
 from .state import WorldState
 
 #: Numerical tolerance when comparing score deltas to zero.
 SCORE_TOLERANCE = 1e-9
+
+_INFERENCES = obs_registry.counter(
+    "mln_inferences_total", "MAP inference runs", labels=("engine",))
+_ITERATIONS = obs_registry.counter(
+    "mln_inference_iterations_total", "Outer passes across inference runs")
 
 
 @dataclass(frozen=True)
@@ -123,21 +130,29 @@ class GreedyCollectiveInference:
     # ------------------------------------------------------ counting engine
     def _infer_counting(self, network: GroundNetwork, seed: Set[EntityPair],
                         clamped_false: FrozenSet[EntityPair]) -> InferenceResult:
-        state = WorldState(network, initial=seed)
-        free: Set[EntityPair] = {
-            pair for pair in network.candidates
-            if pair not in state and pair not in clamped_false
-        }
+        with span("mln.infer", engine="counting",
+                  candidates=len(network.candidates)) as infer_span:
+            state = WorldState(network, initial=seed)
+            free: Set[EntityPair] = {
+                pair for pair in network.candidates
+                if pair not in state and pair not in clamped_false
+            }
 
-        iterations = 0
-        changed = True
-        while changed and iterations < self.max_iterations:
-            iterations += 1
-            changed = self._greedy_pass_counting(network, state, free)
-            if self.enable_group_moves:
-                group_changed = self._group_pass_counting(network, state, free)
-                changed = changed or group_changed
-
+            iterations = 0
+            changed = True
+            while changed and iterations < self.max_iterations:
+                iterations += 1
+                with span("mln.greedy_pass", iteration=iterations):
+                    changed = self._greedy_pass_counting(network, state, free)
+                if self.enable_group_moves:
+                    with span("mln.group_pass", iteration=iterations):
+                        group_changed = self._group_pass_counting(
+                            network, state, free)
+                    changed = changed or group_changed
+            infer_span.add_attrs(iterations=iterations,
+                                 matches=len(state.world))
+        _INFERENCES.inc(engine="counting")
+        _ITERATIONS.inc(iterations)
         return InferenceResult(matches=state.world, score=state.score,
                                iterations=iterations)
 
@@ -252,21 +267,28 @@ class GreedyCollectiveInference:
     # ------------------------------------------------------ naive reference
     def _infer_naive(self, network: GroundNetwork, seed: Set[EntityPair],
                      clamped_false: FrozenSet[EntityPair]) -> InferenceResult:
-        world: Set[EntityPair] = set(seed)
-        free_candidates = [
-            pair for pair in sorted(network.candidates)
-            if pair not in world and pair not in clamped_false
-        ]
+        with span("mln.infer", engine="naive",
+                  candidates=len(network.candidates)) as infer_span:
+            world: Set[EntityPair] = set(seed)
+            free_candidates = [
+                pair for pair in sorted(network.candidates)
+                if pair not in world and pair not in clamped_false
+            ]
 
-        iterations = 0
-        changed = True
-        while changed and iterations < self.max_iterations:
-            iterations += 1
-            changed = self._greedy_pass(network, world, free_candidates)
-            if self.enable_group_moves:
-                group_changed = self._group_pass(network, world, free_candidates)
-                changed = changed or group_changed
-
+            iterations = 0
+            changed = True
+            while changed and iterations < self.max_iterations:
+                iterations += 1
+                with span("mln.greedy_pass", iteration=iterations):
+                    changed = self._greedy_pass(network, world, free_candidates)
+                if self.enable_group_moves:
+                    with span("mln.group_pass", iteration=iterations):
+                        group_changed = self._group_pass(
+                            network, world, free_candidates)
+                    changed = changed or group_changed
+            infer_span.add_attrs(iterations=iterations, matches=len(world))
+        _INFERENCES.inc(engine="naive")
+        _ITERATIONS.inc(iterations)
         matched = frozenset(world)
         return InferenceResult(matches=matched, score=network.score(matched),
                                iterations=iterations)

@@ -1,0 +1,84 @@
+"""Prometheus text-format rendering of registry snapshots.
+
+Implements the classic text exposition format (version 0.0.4): ``# HELP`` /
+``# TYPE`` headers per family, labelled samples, and histogram families
+expanded into cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.  Renders from :meth:`MetricsRegistry.snapshot` output, never
+from live metrics, so no lock is held while formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence, Tuple
+
+from .registry import merge_snapshots
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The Content-Type the ``/metrics`` endpoint advertises for text output.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\"", "\\\"") \
+        .replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(name, value) for name, value in zip(names, values)]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(*snapshots: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render one or more registry snapshots as Prometheus text format.
+
+    Multiple snapshots (e.g. a service's own registry plus the process-wide
+    one) are merged first with :func:`merge_snapshots` semantics.
+    """
+    merged = merge_snapshots(*snapshots) if len(snapshots) != 1 \
+        else snapshots[0]
+    lines = []
+    for name in sorted(merged):
+        entry = merged[name]
+        kind = entry["kind"]
+        label_names = entry["labels"]
+        if entry["help"]:
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key in sorted(entry["values"]):
+            value = entry["values"][key]
+            if kind != "histogram":
+                lines.append(
+                    f"{name}{_labels_text(label_names, key)} "
+                    f"{_format_value(value)}")
+                continue
+            counts, total, count = value
+            cumulative = 0
+            bounds = list(entry["buckets"]) + [float("inf")]
+            for bound, bucket_count in zip(bounds, counts):
+                cumulative += bucket_count
+                le = "+Inf" if bound == float("inf") else _format_value(bound)
+                labels = _labels_text(label_names, key, (("le", le),))
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            base = _labels_text(label_names, key)
+            lines.append(f"{name}_sum{base} {_format_value(total)}")
+            lines.append(f"{name}_count{base} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")

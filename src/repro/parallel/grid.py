@@ -45,8 +45,10 @@ from ..core.messages import MaximalMessageSet
 from ..core.mmp import SCORE_TOLERANCE
 from ..datamodel import CompactStore, EntityPair, EntityStore, StoreView
 from ..exceptions import ExperimentError, MatcherError
-from ..kernels.counters import KernelCounters
+from ..kernels.counters import KernelCounters, fold_into_registry
 from ..matchers import TypeIIMatcher, TypeIMatcher
+from ..obs import registry as obs_registry
+from ..obs import trace as obs_trace
 from .executor import Executor, NamedTask, SerialExecutor, make_executor
 from .partitioner import Task, lpt_partition, makespan, random_partition, total_work
 from .resilience import FaultPolicy, ResilientExecutor, RoundReport
@@ -58,6 +60,33 @@ from .tasks import (
     execute_map_task,
     validate_map_result,
 )
+
+
+# Registry handles for the grid's work accounting — get-or-create once at
+# import, cheap locked increments per round / committed task thereafter.
+_GRID_RUNS = obs_registry.counter(
+    "grid_runs_total", "Grid runs executed", labels=("scheme", "executor"))
+_GRID_ROUNDS = obs_registry.counter(
+    "grid_rounds_total", "Grid rounds executed")
+_GRID_TASKS = obs_registry.counter(
+    "grid_tasks_total", "Map-task results committed by reduce phases")
+_GRID_MATCHES = obs_registry.counter(
+    "grid_new_matches_total", "New matches committed by reduce phases")
+_ROUND_SECONDS = obs_registry.histogram(
+    "grid_round_seconds", "Wall-clock of one grid round")
+_TASK_SECONDS = obs_registry.histogram(
+    "grid_task_seconds", "In-task measured duration of committed map results")
+_SUPERVISION_TOTALS = {
+    name: obs_registry.counter(
+        f"supervision_{name}_total", f"Supervised-round {name.replace('_', ' ')}")
+    for name in ("attempts", "retries", "failures", "timeouts",
+                 "speculative_launches", "speculative_wins", "degraded",
+                 "pool_rebuilds")
+}
+_CACHE_HITS = obs_registry.counter(
+    "lru_cache_hits_total", "LRU cache hits", labels=("cache",))
+_CACHE_MISSES = obs_registry.counter(
+    "lru_cache_misses_total", "LRU cache misses", labels=("cache",))
 
 
 @dataclass
@@ -305,104 +334,148 @@ class GridExecutor:
         round_reports: List[RoundReport] = []
         run_kernel = KernelCounters()
         pop_report = getattr(self.executor, "pop_report", None)
+        # One flag decides whether tasks capture spans for re-parenting; it
+        # travels on the task payloads so pool workers (which have no tracer)
+        # know to collect.
+        trace_tasks = obs_trace.enabled()
         try:
-            with self.executor:
+            with obs_trace.span("grid.run", scheme=self.scheme,
+                                executor=self.executor.kind,
+                                neighborhoods=len(cover.names())) as run_span, \
+                    self.executor:
                 for round_index in range(self.max_rounds):
                     if not active:
                         break
-                    evidence_snapshot = frozenset(matches)
-                    for pair in evidence_snapshot - distributed:
-                        for name in cover.neighborhoods_of_pair(pair):
-                            evidence_index[name].add(pair)
-                    distributed |= evidence_snapshot
+                    round_started = time.perf_counter()
+                    round_span = obs_trace.span("grid.round",
+                                                round=round_index,
+                                                active=len(active))
+                    with round_span:
+                        evidence_snapshot = frozenset(matches)
+                        for pair in evidence_snapshot - distributed:
+                            for name in cover.neighborhoods_of_pair(pair):
+                                evidence_index[name].add(pair)
+                        distributed |= evidence_snapshot
 
-                    # Map phase: every active neighborhood runs against the
-                    # snapshot, dispatched through the pluggable executor.
-                    tasks: List[NamedTask] = []
-                    for name in sorted(active):
-                        compute_messages = self.scheme == "mmp" and (
-                            not self.compute_messages_once or name not in probed)
-                        if compute_messages:
-                            probed.add(name)
-                        warm_start = last_results.get(name, frozenset()) \
-                            if warm_capable else frozenset()
-                        negative = negative_index.get(name, empty_negative)
-                        if use_snapshot:
-                            members = member_cache.get(name)
-                            if members is None:
-                                members = snapshot.indices_for(
-                                    cover.neighborhood(name).entity_ids)
-                                member_cache[name] = members
-                            compact_payload = CompactMapTask(
-                                name=name, snapshot=snapshot_keys[0],
-                                matcher_key=snapshot_keys[1], members=members,
-                                evidence=snapshot.encode_pairs(evidence_index[name]),
-                                compute_messages=compute_messages,
-                                warm_start=snapshot.encode_pairs(warm_start),
-                                negative=snapshot.encode_pairs(negative))
-                            tasks.append((name, partial(execute_compact_map_task,
-                                                        compact_payload)))
-                            continue
-                        payload = MapTask(name=name, matcher=matcher,
-                                          store=shippable_store(name),
-                                          evidence=frozenset(evidence_index[name]),
-                                          compute_messages=compute_messages,
-                                          warm_start=warm_start,
-                                          negative=negative)
-                        tasks.append((name, partial(execute_map_task, payload)))
-                    results = self.executor.map_tasks(tasks)
-                    current_report: Optional[RoundReport] = None
-                    if pop_report is not None:
-                        current_report = pop_report()
+                        # Map phase: every active neighborhood runs against
+                        # the snapshot, dispatched through the executor.
+                        tasks: List[NamedTask] = []
+                        for name in sorted(active):
+                            compute_messages = self.scheme == "mmp" and (
+                                not self.compute_messages_once or name not in probed)
+                            if compute_messages:
+                                probed.add(name)
+                            warm_start = last_results.get(name, frozenset()) \
+                                if warm_capable else frozenset()
+                            negative = negative_index.get(name, empty_negative)
+                            if use_snapshot:
+                                members = member_cache.get(name)
+                                if members is None:
+                                    members = snapshot.indices_for(
+                                        cover.neighborhood(name).entity_ids)
+                                    member_cache[name] = members
+                                compact_payload = CompactMapTask(
+                                    name=name, snapshot=snapshot_keys[0],
+                                    matcher_key=snapshot_keys[1], members=members,
+                                    evidence=snapshot.encode_pairs(evidence_index[name]),
+                                    compute_messages=compute_messages,
+                                    warm_start=snapshot.encode_pairs(warm_start),
+                                    negative=snapshot.encode_pairs(negative),
+                                    trace=trace_tasks)
+                                tasks.append((name, partial(execute_compact_map_task,
+                                                            compact_payload)))
+                                continue
+                            payload = MapTask(name=name, matcher=matcher,
+                                              store=shippable_store(name),
+                                              evidence=frozenset(evidence_index[name]),
+                                              compute_messages=compute_messages,
+                                              warm_start=warm_start,
+                                              negative=negative,
+                                              trace=trace_tasks)
+                            tasks.append((name, partial(execute_map_task, payload)))
+                        results = self.executor.map_tasks(tasks)
+                        current_report: Optional[RoundReport] = None
+                        if pop_report is not None:
+                            current_report = pop_report()
+                            if current_report is not None:
+                                round_reports.append(current_report)
+                                for field_name, handle in \
+                                        _SUPERVISION_TOTALS.items():
+                                    handle.inc(getattr(current_report,
+                                                       field_name))
+
+                        # Reduce phase: merge per-neighborhood results in
+                        # sorted-name order (independent of executor
+                        # completion order), promote maximal messages (MMP
+                        # only).  Worker telemetry folds in here too: task
+                        # spans re-parent under the round span and metric
+                        # deltas land in this process's registry.
+                        round_tasks: List[Task] = []
+                        round_new: Set[EntityPair] = set()
+                        round_kernel = KernelCounters()
+                        for name in sorted(results):
+                            result: MapResult = results[name]
+                            fresh = result.matches - evidence_snapshot
+                            if collect_results:
+                                for pair in fresh - round_new:
+                                    pair_origins.setdefault(pair, (name, round_index))
+                            round_new |= fresh
+                            message_set.add_all(result.messages)
+                            neighborhood_runs += result.matcher_calls
+                            round_kernel.merge(KernelCounters.from_tuple(
+                                getattr(result, "kernel_counters", ())))
+                            round_tasks.append((name, result.duration))
+                            _TASK_SECONDS.observe(result.duration)
+                            worker_spans = getattr(result, "spans", ())
+                            if worker_spans:
+                                obs_trace.fold(worker_spans, round_span)
+                            worker_metrics = getattr(result, "metric_deltas", ())
+                            if worker_metrics:
+                                obs_registry.registry().apply_wire(worker_metrics)
+                            if collect_results:
+                                neighborhood_results[name] = result.matches
+                            if warm_capable:
+                                last_results[name] = result.matches
+                        rounds.append(round_tasks)
+                        run_kernel.merge(round_kernel)
                         if current_report is not None:
-                            round_reports.append(current_report)
+                            current_report.kernel_pairs_scored += round_kernel.pairs_scored
+                            current_report.kernel_batches += round_kernel.batches
+                            current_report.kernel_prefilter_checked += \
+                                round_kernel.prefilter_checked
+                            current_report.kernel_prefilter_pruned += \
+                                round_kernel.prefilter_pruned
+                        fold_into_registry(round_kernel)
 
-                    # Reduce phase: merge per-neighborhood results in
-                    # sorted-name order (independent of executor completion
-                    # order), promote maximal messages (MMP only).
-                    round_tasks: List[Task] = []
-                    round_new: Set[EntityPair] = set()
-                    round_kernel = KernelCounters()
-                    for name in sorted(results):
-                        result: MapResult = results[name]
-                        fresh = result.matches - evidence_snapshot
-                        if collect_results:
-                            for pair in fresh - round_new:
-                                pair_origins.setdefault(pair, (name, round_index))
-                        round_new |= fresh
-                        message_set.add_all(result.messages)
-                        neighborhood_runs += result.matcher_calls
-                        round_kernel.merge(KernelCounters.from_tuple(
-                            getattr(result, "kernel_counters", ())))
-                        round_tasks.append((name, result.duration))
-                        if collect_results:
-                            neighborhood_results[name] = result.matches
-                        if warm_capable:
-                            last_results[name] = result.matches
-                    rounds.append(round_tasks)
-                    run_kernel.merge(round_kernel)
-                    if current_report is not None:
-                        current_report.kernel_pairs_scored += round_kernel.pairs_scored
-                        current_report.kernel_batches += round_kernel.batches
-                        current_report.kernel_prefilter_checked += \
-                            round_kernel.prefilter_checked
-                        current_report.kernel_prefilter_pruned += \
-                            round_kernel.prefilter_pruned
+                        matches |= round_new
+                        if self.scheme == "mmp":
+                            round_new |= self._promote_messages(matcher, store,
+                                                                matches, message_set)
 
-                    matches |= round_new
-                    if self.scheme == "mmp":
-                        round_new |= self._promote_messages(matcher, store,
-                                                            matches, message_set)
-
-                    if self.scheme == "no-mp":
-                        active = set()
-                    elif not round_new:
-                        active = set()
-                    else:
-                        active = set(cover.neighbors_of_pairs(round_new))
+                        if self.scheme == "no-mp":
+                            active = set()
+                        elif not round_new:
+                            active = set()
+                        else:
+                            active = set(cover.neighbors_of_pairs(round_new))
+                        round_span.add_attrs(tasks=len(round_tasks),
+                                             new_matches=len(round_new))
+                    _GRID_ROUNDS.inc()
+                    _GRID_TASKS.inc(len(round_tasks))
+                    _GRID_MATCHES.inc(len(round_new))
+                    _ROUND_SECONDS.observe(time.perf_counter() - round_started)
+                run_span.add_attrs(rounds=len(rounds), matches=len(matches))
         finally:
             for key in snapshot_keys:
                 self.executor.unshare(key)
+        _GRID_RUNS.inc(scheme=self.scheme, executor=self.executor.kind)
+        consume_cache_stats = getattr(matcher, "consume_cache_stats", None)
+        if consume_cache_stats is not None:
+            # Matcher-side LRU efficacy (parent-process matcher only; a
+            # broadcast copy in a pool worker keeps its own tallies).
+            for cache, stats in consume_cache_stats().items():
+                _CACHE_HITS.inc(stats["hits"], cache=cache)
+                _CACHE_MISSES.inc(stats["misses"], cache=cache)
 
         elapsed = time.perf_counter() - started
         return GridRunResult(

@@ -63,6 +63,7 @@ from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ExperimentError, TaskFailedError
+from ..obs.trace import span
 from .executor import Executor, NamedTask, ResultT
 
 #: Result validator signature: ``(task name, result) -> is the result sane?``
@@ -443,9 +444,11 @@ class ResilientExecutor(Executor):
             lost = {state.name for state, _, _ in active.values()}
             lost.update(state.name for state in extra_lost)
             active.clear()
-            self.inner.rebuild()
-            for key, value in self._share_log.items():
-                self.inner.share(key, value)
+            with span("supervision.pool_rebuild",
+                      rebuild=report.pool_rebuilds, lost=len(lost)):
+                self.inner.rebuild()
+                for key, value in self._share_log.items():
+                    self.inner.share(key, value)
             now = time.monotonic()
             for name in sorted(lost):
                 state = states[name]
@@ -606,7 +609,8 @@ class ResilientExecutor(Executor):
         report.attempts += 1
         started = time.perf_counter()
         try:
-            value = self.inner.run_inline(state.name, state.fn)
+            with span("supervision.degraded_run", task=state.name):
+                value = self.inner.run_inline(state.name, state.fn)
         except Exception as error:
             attempt.duration = time.perf_counter() - started
             attempt.outcome = "error"

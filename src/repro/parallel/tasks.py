@@ -41,6 +41,8 @@ from ..core.messages import MaximalMessage
 from ..datamodel import EntityPair, EntityStore, Evidence
 from ..kernels.counters import collecting
 from ..matchers import TypeIMatcher
+from ..obs import registry as obs_registry
+from ..obs import trace as obs_trace
 from . import shared
 
 
@@ -59,6 +61,9 @@ class MapTask:
     #: Standing negative evidence restricted to this neighborhood (pairs the
     #: matcher must never return).  Empty outside delta-ingestion runs.
     negative: FrozenSet[EntityPair] = frozenset()
+    #: Capture the task's spans for re-parenting into the driver's tracer
+    #: (set iff the driver has tracing enabled).
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -88,6 +93,8 @@ class CompactMapTask:
     warm_start: Tuple[Tuple[int, int], ...] = ()
     #: Int-encoded standing negative-evidence pairs for this neighborhood.
     negative: Tuple[Tuple[int, int], ...] = ()
+    #: Capture the task's spans for re-parenting into the driver's tracer.
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,14 @@ class MapResult:
     #: scalar backend).  A tuple keeps the payload cheap to pickle and
     #: forward-compatible (older results default to zeros).
     kernel_counters: Tuple[int, int, int, int] = (0, 0, 0, 0)
+    #: Spans recorded inside the task, as :meth:`TaskCapture.wire` tuples —
+    #: empty unless the task was dispatched with ``trace=True``.  The grid's
+    #: reduce phase re-parents them under the round span.
+    spans: Tuple = ()
+    #: Metric updates made inside the task
+    #: (:meth:`~repro.obs.registry.RegistryDelta.as_wire`), folded into the
+    #: parent's registry by the reduce phase.
+    metric_deltas: Tuple = ()
 
 
 def validate_map_result(name: str, result: object) -> bool:
@@ -162,15 +177,21 @@ def execute_map_task(task: MapTask) -> MapResult:
     ``functools.partial(execute_map_task, task)`` to its workers.
     """
     started = time.perf_counter()
-    with collecting() as kernel_work:
-        runner = _TaskRunner(task.matcher, task.store, warm_start=task.warm_start,
-                             negative=task.negative)
-        found = runner.run(task.name, positive=task.evidence)
-        messages: Tuple[MaximalMessage, ...] = ()
-        if task.compute_messages:
-            messages = tuple(compute_maximal_messages(
-                runner, task.name, evidence_matches=task.evidence,
-                unconditioned_output=found))
+    with obs_registry.capturing() as metric_delta, \
+            obs_trace.task_capture(task.trace) as span_capture, \
+            collecting() as kernel_work:
+        with obs_trace.span("grid.task", task=task.name,
+                            evidence=len(task.evidence)) as task_span:
+            runner = _TaskRunner(task.matcher, task.store,
+                                 warm_start=task.warm_start,
+                                 negative=task.negative)
+            found = runner.run(task.name, positive=task.evidence)
+            messages: Tuple[MaximalMessage, ...] = ()
+            if task.compute_messages:
+                messages = tuple(compute_maximal_messages(
+                    runner, task.name, evidence_matches=task.evidence,
+                    unconditioned_output=found))
+            task_span.add_attrs(matches=len(found), calls=runner.calls)
     return MapResult(
         name=task.name,
         matches=found,
@@ -178,6 +199,8 @@ def execute_map_task(task: MapTask) -> MapResult:
         duration=time.perf_counter() - started,
         matcher_calls=runner.calls,
         kernel_counters=kernel_work.as_tuple(),
+        spans=span_capture.wire() if span_capture is not None else (),
+        metric_deltas=metric_delta.as_wire(),
     )
 
 
@@ -191,21 +214,27 @@ def execute_compact_map_task(task: CompactMapTask) -> MapResult:
     for the same pickling reason.
     """
     started = time.perf_counter()
-    with collecting() as kernel_work:
-        snapshot = shared.get_shared(task.snapshot)
-        matcher: TypeIMatcher = shared.get_shared(task.matcher_key)
-        view = shared.view_for(task.snapshot, task.members)
-        evidence = frozenset(snapshot.decode_pairs(task.evidence))
-        warm_start = frozenset(snapshot.decode_pairs(task.warm_start))
-        negative = frozenset(snapshot.decode_pairs(task.negative))
-        runner = _TaskRunner(matcher, view, warm_start=warm_start,
-                             negative=negative)
-        found = runner.run(task.name, positive=evidence)
-        messages: Tuple[MaximalMessage, ...] = ()
-        if task.compute_messages:
-            messages = tuple(compute_maximal_messages(
-                runner, task.name, evidence_matches=evidence,
-                unconditioned_output=found))
+    with obs_registry.capturing() as metric_delta, \
+            obs_trace.task_capture(task.trace) as span_capture, \
+            collecting() as kernel_work:
+        with obs_trace.span("grid.task", task=task.name,
+                            evidence=len(task.evidence),
+                            compact=True) as task_span:
+            snapshot = shared.get_shared(task.snapshot)
+            matcher: TypeIMatcher = shared.get_shared(task.matcher_key)
+            view = shared.view_for(task.snapshot, task.members)
+            evidence = frozenset(snapshot.decode_pairs(task.evidence))
+            warm_start = frozenset(snapshot.decode_pairs(task.warm_start))
+            negative = frozenset(snapshot.decode_pairs(task.negative))
+            runner = _TaskRunner(matcher, view, warm_start=warm_start,
+                                 negative=negative)
+            found = runner.run(task.name, positive=evidence)
+            messages: Tuple[MaximalMessage, ...] = ()
+            if task.compute_messages:
+                messages = tuple(compute_maximal_messages(
+                    runner, task.name, evidence_matches=evidence,
+                    unconditioned_output=found))
+            task_span.add_attrs(matches=len(found), calls=runner.calls)
     return MapResult(
         name=task.name,
         matches=found,
@@ -213,4 +242,6 @@ def execute_compact_map_task(task: CompactMapTask) -> MapResult:
         duration=time.perf_counter() - started,
         matcher_calls=runner.calls,
         kernel_counters=kernel_work.as_tuple(),
+        spans=span_capture.wire() if span_capture is not None else (),
+        metric_deltas=metric_delta.as_wire(),
     )

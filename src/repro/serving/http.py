@@ -12,7 +12,10 @@ Routes::
     POST /deltas                   submit a change batch (JSON wire format)
     GET  /health                   liveness + mode (always answers)
     GET  /ready                    readiness (503 until recovery completes)
-    GET  /metrics                  JSON operational counters
+    GET  /metrics                  operational counters; JSON by default,
+                                   Prometheus text format 0.0.4 when the
+                                   ``Accept`` header asks for ``text/plain``
+                                   or ``application/openmetrics-text``
 
 Typed service failures map to distinct statuses: 429 + ``Retry-After``
 (shed), 504 (deadline), 503 + ``Retry-After`` (not ready / draining /
@@ -44,6 +47,7 @@ from ..exceptions import (
     ServiceUnavailableError,
     UnknownEntityError,
 )
+from ..obs.exposition import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from ..streaming.deltas import ChangeBatch, op_from_dict
 from .service import MatchService
 
@@ -79,6 +83,26 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error(self, status: int, message: str,
                     retry_after: Optional[float] = None) -> None:
         self._send_json(status, {"error": message}, retry_after=retry_after)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _wants_prometheus(self) -> bool:
+        """Content negotiation for ``/metrics``: JSON unless the client's
+        ``Accept`` header asks for a text (Prometheus/OpenMetrics) scrape."""
+        accept = self.headers.get("Accept", "")
+        for clause in accept.split(","):
+            media = clause.split(";", 1)[0].strip().lower()
+            if media in ("text/plain", "application/openmetrics-text"):
+                return True
+            if media == "application/json":
+                return False
+        return False
 
     def _deadline(self) -> Optional[float]:
         """Per-request deadline from the ``X-Deadline`` header (seconds)."""
@@ -135,7 +159,11 @@ class _Handler(BaseHTTPRequestHandler):
                                       "state": self.service.state},
                                 retry_after=self.service.config.retry_after)
         elif parts == ["metrics"]:
-            self._send_json(200, self.service.metrics())
+            if self._wants_prometheus():
+                self._send_text(200, self.service.prometheus_metrics(),
+                                PROMETHEUS_CONTENT_TYPE)
+            else:
+                self._send_json(200, self.service.metrics())
         elif len(parts) == 2 and parts[0] == "resolve":
             entity_id = urllib.parse.unquote(parts[1])
             self._send_json(200, self.service.resolve(

@@ -47,6 +47,9 @@ from ..exceptions import (
     ServiceReadOnlyError,
     ServiceUnavailableError,
 )
+from ..obs import registry as obs_registry
+from ..obs.exposition import render_prometheus
+from ..obs.trace import span
 from ..streaming.deltas import ChangeBatch
 from ..streaming.runner import BatchResult
 from .admission import AdmissionGate, Deadline
@@ -54,6 +57,23 @@ from .breaker import CircuitBreaker
 from .epoch import Epoch
 
 Clock = Callable[[], float]
+
+#: Operational counters every service instance registers (legacy key →
+#: help text).  The legacy keys survive as the ``counters`` block of the
+#: JSON :meth:`MatchService.metrics` document; the registry names are the
+#: same keys under a ``service_`` prefix.
+_COUNTER_HELP = {
+    "reads_total": "Read requests received",
+    "reads_ok": "Read requests answered successfully",
+    "reads_failed": "Read requests shed, timed out or errored",
+    "deltas_accepted": "Delta batches accepted into the commit queue",
+    "deltas_shed": "Delta batches shed because the commit queue was full",
+    "deltas_invalid": "Delta batches rejected by pre-commit validation",
+    "deltas_rejected_read_only": "Delta batches refused in read-only mode",
+    "commits_total": "Delta batches committed",
+    "commit_failures": "Delta batches that failed during commit",
+    "epochs_published": "Epoch snapshots published",
+}
 
 #: Lifecycle states (monotone except ready ↔ read-only, which is a mode,
 #: not a state: the breaker owns it).
@@ -106,6 +126,13 @@ class ServiceConfig:
             raise ServiceError("breaker_cooldown must be positive")
         if self.read_delay < 0:
             raise ServiceError("read_delay must be >= 0")
+
+
+def _latency_summary(histogram: obs_registry.Histogram) -> Dict[str, float]:
+    """Count / sum / mean of one latency histogram (for the JSON document)."""
+    _, total, count = histogram.value()
+    return {"count": count, "sum_seconds": total,
+            "mean_seconds": (total / count) if count else 0.0}
 
 
 class CommitTicket:
@@ -174,19 +201,33 @@ class MatchService:
         self._startup_thread: Optional[threading.Thread] = None
         self._drain_requested = threading.Event()
         self._previous_handlers: Dict[int, object] = {}
+        #: Guards the point-in-time fields snapshotted by :meth:`metrics`
+        #: (started-at / epoch-published-at timestamps); individual metric
+        #: updates take the per-metric registry locks instead.
         self._metrics_lock = threading.Lock()
-        self._counters: Dict[str, int] = {
-            "reads_total": 0,
-            "reads_ok": 0,
-            "reads_failed": 0,
-            "deltas_accepted": 0,
-            "deltas_shed": 0,
-            "deltas_invalid": 0,
-            "deltas_rejected_read_only": 0,
-            "commits_total": 0,
-            "commit_failures": 0,
-            "epochs_published": 0,
+        self._started_at: Optional[float] = None
+        self._epoch_published_at: Optional[float] = None
+        #: Per-service metrics registry.  Instance-scoped so two services in
+        #: one process never mix counts; the Prometheus exposition merges it
+        #: with the process-wide registry (grid, kernels, WAL, ...).
+        self.registry = obs_registry.MetricsRegistry()
+        self._counters: Dict[str, obs_registry.Counter] = {
+            key: self.registry.counter(f"service_{key}", help_text)
+            for key, help_text in _COUNTER_HELP.items()
         }
+        self._read_seconds = self.registry.histogram(
+            "service_read_seconds", "End-to-end latency of one read request")
+        self._commit_seconds = self.registry.histogram(
+            "service_commit_seconds", "Commit-loop latency of one batch")
+        self._uptime_gauge = self.registry.gauge(
+            "service_uptime_seconds", "Seconds since the service became ready")
+        self._epoch_gauge = self.registry.gauge(
+            "service_epoch", "Id of the currently published epoch")
+        self._epoch_age_gauge = self.registry.gauge(
+            "service_epoch_age_seconds",
+            "Seconds since the current epoch was published")
+        self._queue_depth_gauge = self.registry.gauge(
+            "service_delta_queue_depth", "Delta batches waiting to commit")
 
     # ------------------------------------------------------------ lifecycle
     @classmethod
@@ -243,6 +284,8 @@ class MatchService:
         self._commit_thread = threading.Thread(
             target=self._commit_loop, name="match-service-commit", daemon=True)
         self._commit_thread.start()
+        with self._metrics_lock:
+            self._started_at = self._clock()
         with self._state_lock:
             self._state = READY
         self._ready.set()
@@ -343,25 +386,29 @@ class MatchService:
                             else self.config.default_deadline,
                             clock=self._clock)
         self._count("reads_total")
-        try:
-            self.gate.acquire(deadline)
-        except ServiceError:
-            self._count("reads_failed")
-            raise
-        try:
-            epoch = self._pin_epoch()
-            if self.config.read_delay:
-                time.sleep(self.config.read_delay)
-            result = fn(epoch)
-            deadline.check("read")
-        except Exception:
-            self._count("reads_failed")
-            raise
-        else:
-            self._count("reads_ok")
-            return result
-        finally:
-            self.gate.release()
+        started = time.perf_counter()
+        with span("serve.read"):
+            try:
+                self.gate.acquire(deadline)
+            except ServiceError:
+                self._count("reads_failed")
+                self._read_seconds.observe(time.perf_counter() - started)
+                raise
+            try:
+                epoch = self._pin_epoch()
+                if self.config.read_delay:
+                    time.sleep(self.config.read_delay)
+                result = fn(epoch)
+                deadline.check("read")
+            except Exception:
+                self._count("reads_failed")
+                raise
+            else:
+                self._count("reads_ok")
+                return result
+            finally:
+                self.gate.release()
+                self._read_seconds.observe(time.perf_counter() - started)
 
     def resolve(self, entity_id: str,
                 deadline_seconds: Optional[float] = None) -> Dict:
@@ -455,8 +502,10 @@ class MatchService:
                 self.breaker.release_probe()
                 ticket._fail(error)
                 continue
+            commit_started = time.perf_counter()
             try:
-                result = self._session.apply(batch)
+                with span("serve.commit", ops=len(batch)):
+                    result = self._session.apply(batch)
             except BaseException as error:
                 # A batch that passed validation and still failed means the
                 # substrate (pool, WAL, matcher) is suspect: charge the
@@ -466,11 +515,13 @@ class MatchService:
                 # cases; anything else is treated just as conservatively.)
                 self._count("commit_failures")
                 self.breaker.record_failure()
+                self._commit_seconds.observe(time.perf_counter() - commit_started)
                 ticket._fail(error)
             else:
                 self._count("commits_total")
                 self.breaker.record_success()
                 self._publish_epoch()
+                self._commit_seconds.observe(time.perf_counter() - commit_started)
                 ticket._complete(result)
 
     def _validate_batch(self, batch: ChangeBatch) -> None:
@@ -539,6 +590,8 @@ class MatchService:
                       self._session.matches,
                       session.overlay.entity_ids())
         self._epoch = epoch  # the atomic swap: readers pin old or new, never both
+        with self._metrics_lock:
+            self._epoch_published_at = self._clock()
         self._count("epochs_published")
 
     def _inner_session(self):
@@ -574,13 +627,37 @@ class MatchService:
 
     # ------------------------------------------------------------- metrics
     def _count(self, key: str) -> None:
+        self._counters[key].inc()
+
+    def _observe_gauges(self):
+        """Refresh the point-in-time gauges ahead of a registry snapshot.
+
+        The timestamp fields are read together under ``_metrics_lock`` (one
+        consistent cut); the gauge writes and the later formatting happen
+        outside it.  Returns ``(uptime, epoch age)`` in seconds.
+        """
+        now = self._clock()
         with self._metrics_lock:
-            self._counters[key] += 1
+            started_at = self._started_at
+            published_at = self._epoch_published_at
+        epoch = self._epoch
+        uptime = None if started_at is None else max(0.0, now - started_at)
+        epoch_age = None if published_at is None \
+            else max(0.0, now - published_at)
+        if uptime is not None:
+            self._uptime_gauge.set(uptime)
+        if epoch is not None:
+            self._epoch_gauge.set(float(epoch.epoch_id))
+        if epoch_age is not None:
+            self._epoch_age_gauge.set(epoch_age)
+        self._queue_depth_gauge.set(float(self._deltas.qsize()))
+        return uptime, epoch_age
 
     def metrics(self) -> Dict:
         """One JSON-compatible snapshot of every operational counter."""
-        with self._metrics_lock:
-            counters = dict(self._counters)
+        uptime, epoch_age = self._observe_gauges()
+        counters = {key: int(handle.value())
+                    for key, handle in self._counters.items()}
         epoch = self._epoch
         session = self._session
         supervision = None
@@ -598,6 +675,8 @@ class MatchService:
             "state": self.state,
             "mode": "read-only" if self.read_only else "read-write",
             "epoch": None if epoch is None else epoch.epoch_id,
+            "epoch_age_seconds": epoch_age,
+            "uptime_seconds": uptime,
             "matches": None if epoch is None else len(epoch.matches),
             "entities": None if epoch is None else len(epoch.entity_ids),
             "counters": counters,
@@ -607,7 +686,18 @@ class MatchService:
             "delta_queue_limit": self.config.delta_queue_limit,
             "supervision": supervision,
             "kernels": kernels,
+            "latency": {
+                "read": _latency_summary(self._read_seconds),
+                "commit": _latency_summary(self._commit_seconds),
+            },
         }
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text exposition (0.0.4): this service's registry
+        merged with the process-wide one (grid, kernels, WAL, caches)."""
+        self._observe_gauges()
+        return render_prometheus(self.registry.snapshot(),
+                                 obs_registry.registry().snapshot())
 
     def health(self) -> Dict:
         """Liveness document (always served, even degraded or draining)."""

@@ -263,27 +263,43 @@ class LruMemo:
     scorers use are provided (``get``/``[]``/``in``/``len``).
     """
 
-    __slots__ = ("capacity", "_data")
+    __slots__ = ("capacity", "_data", "hits", "misses")
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._data: "OrderedDict" = OrderedDict()
+        # Efficacy tallies: plain int bumps on the per-pair hot path (a
+        # registry update here would be far too hot); surfaced per cover
+        # build through ``ProfiledNameScorer.memo_stats()``.
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key, default=None):
         data = self._data
         try:
             value = data[key]
         except KeyError:
+            self.misses += 1
             return default
+        self.hits += 1
         data.move_to_end(key)
         return value
 
     def __getitem__(self, key):
-        value = self._data[key]
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            raise
+        self.hits += 1
         self._data.move_to_end(key)
         return value
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._data), "capacity": self.capacity}
 
     def __setitem__(self, key, value) -> None:
         data = self._data
@@ -328,6 +344,21 @@ class ProfiledNameScorer:
         self._last_bound = LruMemo(max_memo_entries)
         self._first_memo = LruMemo(max_memo_entries)
         self._char_counts = LruMemo(max_memo_entries)
+
+    def memo_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/occupancy of every memo (keys name the memoized value).
+
+        The blocker exposes its last build's stats through
+        :meth:`~repro.blocking.canopy.CanopyBlocker.memo_stats` and the
+        framework folds them into the ``lru_cache_{hits,misses}_total``
+        registry counters after each cover build.
+        """
+        return {
+            "memo_jw_last": self._last_memo.stats(),
+            "memo_jw_last_bound": self._last_bound.stats(),
+            "memo_jw_first": self._first_memo.stats(),
+            "memo_char_counts": self._char_counts.stats(),
+        }
 
     def batch_scorer(self, postings: Optional[Mapping[str, Sequence]] = None):
         """A kernel-backed batch canopy scorer over this scorer's parts.

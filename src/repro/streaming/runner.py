@@ -49,6 +49,8 @@ from ..datamodel import CompactStore, EntityPair, EntityStore, Evidence
 from ..durability.crashpoints import crash_point
 from ..exceptions import DeltaError
 from ..matchers import TypeIMatcher
+from ..obs import registry as obs_registry
+from ..obs.trace import span
 from ..parallel.grid import GridExecutor, GridRunResult
 from .deltas import AddEvidence, ChangeBatch, Delta, RemoveEvidence
 from .maintainer import IncrementalCoverMaintainer
@@ -59,6 +61,17 @@ Members = FrozenSet[str]
 #: Provenance round assigned to external positive evidence: it precedes every
 #: derived pair, because a cold run seeds it before round zero.
 _EVIDENCE_ROUND = -1
+
+_STREAM_BATCHES = obs_registry.counter(
+    "stream_batches_total", "Change batches applied across stream sessions")
+_STREAM_OPS = obs_registry.counter(
+    "stream_ops_total", "Individual delta operations applied")
+_STREAM_RETRACTED = obs_registry.counter(
+    "stream_retracted_total", "Standing pairs retracted by batch application")
+_STREAM_REBASES = obs_registry.counter(
+    "stream_rebases_total", "Overlay rebases triggered by the delta threshold")
+_BATCH_SECONDS = obs_registry.histogram(
+    "stream_batch_seconds", "Wall-clock time to apply one change batch")
 
 
 @dataclass
@@ -182,25 +195,29 @@ class StreamSession:
         if self.started:
             raise DeltaError("stream session already started")
         started_at = time.perf_counter()
-        store = self._store_view()
-        cover = self.maintainer.build(store)
-        name_cache: Dict[str, EntityStore] = {}
-        # Pairless neighborhoods produce nothing — skip them here and record
-        # empty standing results in ``_absorb``.
-        matchable = [neighborhood.name for neighborhood in cover
-                     if len(neighborhood) > 1]
-        result = self._grid.run(self.matcher, store, cover,
-                                initial_matches=self.evidence.positive,
-                                initial_active=matchable,
-                                negative_evidence=self.evidence.negative,
-                                collect_results=True,
-                                store_cache=name_cache)
-        self.cover = cover
-        self._absorb(result, cover, clean_results={}, name_cache=name_cache)
-        self.supervision.record(result.round_reports)
-        self.kernel_counters.merge(result.kernel_counters)
-        self.started = True
-        self.batches_applied = 0
+        with span("stream.cold_start") as start_span:
+            store = self._store_view()
+            cover = self.maintainer.build(store)
+            name_cache: Dict[str, EntityStore] = {}
+            # Pairless neighborhoods produce nothing — skip them here and
+            # record empty standing results in ``_absorb``.
+            matchable = [neighborhood.name for neighborhood in cover
+                         if len(neighborhood) > 1]
+            result = self._grid.run(self.matcher, store, cover,
+                                    initial_matches=self.evidence.positive,
+                                    initial_active=matchable,
+                                    negative_evidence=self.evidence.negative,
+                                    collect_results=True,
+                                    store_cache=name_cache)
+            self.cover = cover
+            self._absorb(result, cover, clean_results={},
+                         name_cache=name_cache)
+            self.supervision.record(result.round_reports)
+            self.kernel_counters.merge(result.kernel_counters)
+            self.started = True
+            self.batches_applied = 0
+            start_span.add_attrs(neighborhoods=len(cover),
+                                 matches=len(self.matches))
         return BatchResult(
             batch_index=0,
             ops=0,
@@ -224,50 +241,68 @@ class StreamSession:
         started_at = time.perf_counter()
         previous_matches = self.matches
 
-        impact = DeltaImpact()
-        for delta in batch:
-            self._apply_delta(delta, impact)
-        self._cascade_evidence_removals(impact)
+        with span("stream.batch", batch=self.batches_applied + 1,
+                  ops=len(batch)) as batch_span:
+            with span("stream.mutate"):
+                impact = DeltaImpact()
+                for delta in batch:
+                    self._apply_delta(delta, impact)
+                self._cascade_evidence_removals(impact)
 
-        cover = self.maintainer.update(self.overlay, impact)
-        dirty_names = self._dirty_neighborhoods(cover, impact)
-        valid, active = self._retract(cover, dirty_names, impact)
+            with span("stream.cover_repair"):
+                cover = self.maintainer.update(self.overlay, impact)
 
-        # Seed the grid with the cached stores of clean neighborhoods: their
-        # sub-instance is unchanged, so re-activated runs hit the matcher's
-        # per-store caches instead of re-grounding.
-        name_cache: Dict[str, EntityStore] = {}
-        for neighborhood in cover:
-            if neighborhood.name in dirty_names:
-                continue
-            cached = self._store_cache.get(neighborhood.entity_ids)
-            if cached is not None:
-                name_cache[neighborhood.name] = cached
+            with span("stream.retract") as retract_span:
+                dirty_names = self._dirty_neighborhoods(cover, impact)
+                valid, active = self._retract(cover, dirty_names, impact)
+                retract_span.add_attrs(dirty=len(active))
 
-        store = self._store_view()
-        result = self._grid.run(
-            self.matcher, store, cover,
-            initial_matches=frozenset(valid),
-            initial_active=active,
-            negative_evidence=self.evidence.negative,
-            collect_results=True,
-            store_cache=name_cache)
+            # Seed the grid with the cached stores of clean neighborhoods:
+            # their sub-instance is unchanged, so re-activated runs hit the
+            # matcher's per-store caches instead of re-grounding.
+            name_cache: Dict[str, EntityStore] = {}
+            for neighborhood in cover:
+                if neighborhood.name in dirty_names:
+                    continue
+                cached = self._store_cache.get(neighborhood.entity_ids)
+                if cached is not None:
+                    name_cache[neighborhood.name] = cached
 
-        clean_results = dict(self._results)
-        self.cover = cover
-        self._absorb(result, cover, clean_results=clean_results,
-                     name_cache=name_cache)
-        self.supervision.record(result.round_reports)
-        self.kernel_counters.merge(result.kernel_counters)
+            with span("stream.rematch"):
+                store = self._store_view()
+                result = self._grid.run(
+                    self.matcher, store, cover,
+                    initial_matches=frozenset(valid),
+                    initial_active=active,
+                    negative_evidence=self.evidence.negative,
+                    collect_results=True,
+                    store_cache=name_cache)
 
-        rebased = False
-        if self.overlay.delta_size() >= self.rebase_threshold:
-            crash_point("rebase.before")
-            self.overlay = StoreOverlay(self.overlay.rebase())
-            crash_point("rebase.after")
-            rebased = True
+            clean_results = dict(self._results)
+            self.cover = cover
+            self._absorb(result, cover, clean_results=clean_results,
+                         name_cache=name_cache)
+            self.supervision.record(result.round_reports)
+            self.kernel_counters.merge(result.kernel_counters)
 
-        self.batches_applied += 1
+            rebased = False
+            if self.overlay.delta_size() >= self.rebase_threshold:
+                with span("stream.rebase"):
+                    crash_point("rebase.before")
+                    self.overlay = StoreOverlay(self.overlay.rebase())
+                    crash_point("rebase.after")
+                rebased = True
+                _STREAM_REBASES.inc()
+
+            self.batches_applied += 1
+            batch_span.add_attrs(matches=len(self.matches),
+                                 retracted=len(previous_matches - self.matches),
+                                 rebased=rebased)
+
+        _STREAM_BATCHES.inc()
+        _STREAM_OPS.inc(len(batch))
+        _STREAM_RETRACTED.inc(len(previous_matches - self.matches))
+        _BATCH_SECONDS.observe(time.perf_counter() - started_at)
         return BatchResult(
             batch_index=self.batches_applied,
             ops=len(batch),
